@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/simrank/simpush/internal/graph"
+)
+
+func TestRunEdges(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "dblp-sim", 0.02, "edges"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "dblp-sim.txt")
+	g, err := graph.LoadEdgeListFile(path, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() < 1000 {
+		t.Fatalf("generated graph too small: %v", g)
+	}
+}
+
+func TestRunBinary(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "dblp-sim", 0.02, "binary"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadBinaryFile(filepath.Join(dir, "dblp-sim.spg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() < 1000 {
+		t.Fatalf("generated graph too small: %v", g)
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run(t.TempDir(), "nope", 1, "edges"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	if err := run(t.TempDir(), "dblp-sim", 0.02, "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	// a file path cannot be used as a directory
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(filepath.Join(f, "sub"), "dblp-sim", 0.02, "edges"); err == nil {
+		t.Fatal("bad directory accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	// shared-parent graph: s(1,2) = c
+	if err := os.WriteFile(path, []byte("0 1\n0 2\n1 3\n2 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSimPush(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := run(path, false, false, 1, 3, 0.01, "SimPush", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := run(path, false, false, 1, 3, 0.01, "READS", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUndirected(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := run(path, false, true, 1, 3, 0.05, "SimPush", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingGraph(t *testing.T) {
+	if err := run("/nonexistent/graph.txt", false, false, 0, 3, 0.05, "SimPush", 2, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := run(path, false, false, 1, 3, 0.05, "Nope", 2, 1); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(os.Stdout, path, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(os.Stdout, path, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStatsRemap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("1000000000 5\n5 7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(os.Stdout, path, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStatsMissing(t *testing.T) {
+	if err := run(os.Stdout, "/nonexistent", false, false, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

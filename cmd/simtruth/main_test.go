@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n0 2\n1 3\n2 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPairMode(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := run(path, false, false, 1, 2, false, 10, 20000, 0.6, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolMode(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := run(path, false, false, 1, -1, true, 5, 5000, 0.6, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if err := run("/nonexistent", false, false, 0, 1, false, 5, 10, 0.6, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

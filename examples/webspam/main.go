@@ -1,0 +1,100 @@
+// Web-spam detection: SimRank's original motivating applications include
+// link-spam analysis (Benczúr et al. [2] in the paper's references). A
+// link farm is a set of pages that reference each other through shared
+// booster pages, which makes farm members highly SimRank-similar: once a
+// few members are known, single-source queries expose the rest.
+//
+// This example plants a link farm inside a normal web graph, runs SimPush
+// from one known spam page, and measures how many of the other farm
+// members appear in the top results.
+//
+//	go run ./examples/webspam
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	simpush "github.com/simrank/simpush"
+)
+
+const (
+	webPages   = 30000
+	farmSize   = 40 // spam pages
+	boosters   = 60 // pages that link to every farm page
+	avgOutDeg  = 8
+	topK       = 30
+	seedMember = int32(webPages) // first farm page
+)
+
+func main() {
+	g, err := buildWebWithFarm()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("web graph with hidden link farm: %d pages, %d links\n", g.N(), g.M())
+	fmt.Printf("farm: pages %d..%d boosted by %d booster pages\n",
+		webPages, webPages+farmSize-1, boosters)
+
+	eng, err := simpush.New(g, simpush.Options{Epsilon: 0.01, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	top, err := eng.TopK(seedMember, topK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery from known spam page %d: %v\n", seedMember, time.Since(t0))
+
+	found := 0
+	fmt.Println("\nrank\tpage\tSimRank\tfarm?")
+	for i, r := range top {
+		isFarm := r.Node >= webPages && r.Node < webPages+farmSize
+		if isFarm {
+			found++
+		}
+		mark := ""
+		if isFarm {
+			mark = "SPAM"
+		}
+		fmt.Printf("%d\t%d\t%.5f\t%s\n", i+1, r.Node, r.Score, mark)
+	}
+	fmt.Printf("\n%d of the %d other farm members surfaced in the top %d\n",
+		found, farmSize-1, topK)
+}
+
+// buildWebWithFarm appends a link farm to a copying-model web graph:
+// `boosters` pages each link to all `farmSize` spam pages (shared
+// in-neighborhoods are exactly what SimRank keys on), and each booster
+// also links to a couple of normal pages as camouflage.
+func buildWebWithFarm() (*simpush.Graph, error) {
+	base, err := simpush.SyntheticWebGraph(webPages, avgOutDeg, 17)
+	if err != nil {
+		return nil, err
+	}
+	var from, to []int32
+	base.Edges(func(f, t int32) {
+		from = append(from, f)
+		to = append(to, t)
+	})
+	firstFarm := int32(webPages)
+	firstBooster := firstFarm + farmSize
+	for b := int32(0); b < boosters; b++ {
+		booster := firstBooster + b
+		for s := int32(0); s < farmSize; s++ {
+			from = append(from, booster)
+			to = append(to, firstFarm+s)
+		}
+		// camouflage links into the normal web
+		from = append(from, booster, booster)
+		to = append(to, b%webPages, (b*7+13)%webPages)
+	}
+	// farm pages link among themselves in a ring, and out to normal pages
+	for s := int32(0); s < farmSize; s++ {
+		from = append(from, firstFarm+s, firstFarm+s)
+		to = append(to, firstFarm+(s+1)%farmSize, (s*31+5)%webPages)
+	}
+	return simpush.FromEdges(from, to, false)
+}

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/simrank/simpush/internal/gen"
+)
+
+// tinyOptions keeps harness tests fast: minimum-size datasets, few
+// queries, small truth samples.
+func tinyOptions() Options {
+	return Options{
+		Scale:         0.02, // datasets floor at 1000 nodes
+		Queries:       2,
+		K:             10,
+		TruthSamples:  3000,
+		WalkCap:       20000,
+		MaxIndexBytes: 1 << 30,
+		MaxQueryTime:  20 * time.Second,
+		Seed:          7,
+	}
+}
+
+func TestPickQueries(t *testing.T) {
+	g := gen.Cycle(50)
+	q := PickQueries(g, 10, 3)
+	if len(q) != 10 {
+		t.Fatalf("got %d queries", len(q))
+	}
+	seen := map[int32]bool{}
+	for _, u := range q {
+		if u < 0 || u >= 50 || seen[u] {
+			t.Fatalf("bad query set %v", q)
+		}
+		seen[u] = true
+	}
+	// More queries than nodes clamps.
+	if got := PickQueries(gen.Cycle(3), 10, 1); len(got) != 3 {
+		t.Fatalf("clamp failed: %v", got)
+	}
+}
+
+func TestRunDatasetSmoke(t *testing.T) {
+	opt := tinyOptions()
+	opt.Methods = []string{"SimPush", "TopSim"} // two cheap methods
+	ds := gen.Roster[0]
+	rows, err := RunDataset(opt, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 2 methods x 5 settings", len(rows))
+	}
+	ran := 0
+	for _, r := range rows {
+		if r.Excluded {
+			continue
+		}
+		ran++
+		if r.QueryTime <= 0 {
+			t.Errorf("%s/%s: no query time", r.Method, r.Setting)
+		}
+		if r.PrecK < 0 || r.PrecK > 1 {
+			t.Errorf("%s/%s: precision %v", r.Method, r.Setting, r.PrecK)
+		}
+		if r.AvgErrK < 0 || r.AvgErrK > 1 {
+			t.Errorf("%s/%s: error %v", r.Method, r.Setting, r.AvgErrK)
+		}
+		if r.Memory <= 0 {
+			t.Errorf("%s/%s: memory %d", r.Method, r.Setting, r.Memory)
+		}
+	}
+	if ran == 0 {
+		t.Fatal("every configuration was excluded")
+	}
+}
+
+// SimPush at its finest setting should reach high precision on a small
+// stand-in — the qualitative anchor of Figures 4-5.
+func TestSimPushHighPrecision(t *testing.T) {
+	opt := tinyOptions()
+	opt.Queries = 3
+	opt.TruthSamples = 20000
+	opt.Methods = []string{"SimPush"}
+	rows, err := RunDataset(opt, gen.Roster[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	finest := rows[len(rows)-1]
+	if finest.Excluded {
+		t.Fatalf("finest setting excluded: %s", finest.Reason)
+	}
+	if finest.PrecK < 0.8 {
+		t.Fatalf("SimPush finest precision = %v", finest.PrecK)
+	}
+	if finest.AvgErrK > 0.01 {
+		t.Fatalf("SimPush finest avg error = %v", finest.AvgErrK)
+	}
+}
+
+func TestIndexCapExcludes(t *testing.T) {
+	opt := tinyOptions()
+	opt.MaxIndexBytes = 1 << 12 // 4 KiB: every READS index exceeds this
+	opt.Methods = []string{"READS"}
+	rows, err := RunDataset(opt, gen.Roster[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Excluded {
+			t.Fatalf("%s/%s survived a 4 KiB cap", r.Method, r.Setting)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table4(&buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, ds := range gen.Roster {
+		if !strings.Contains(out, ds.Name) {
+			t.Fatalf("Table 4 missing %s:\n%s", ds.Name, out)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	opt := tinyOptions()
+	opt.Queries = 2
+	if err := Table1(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SimPush") || !strings.Contains(out, "empirical scaling") {
+		t.Fatalf("Table 1 incomplete:\n%s", out)
+	}
+}
+
+func TestLevelStats(t *testing.T) {
+	var buf bytes.Buffer
+	opt := tinyOptions()
+	if err := LevelStats(&buf, opt, gen.Roster[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), gen.Roster[0].Name) {
+		t.Fatalf("LevelStats output:\n%s", buf.String())
+	}
+}
+
+func TestAblations(t *testing.T) {
+	var buf bytes.Buffer
+	opt := tinyOptions()
+	if err := Ablations(&buf, opt, gen.Roster[:1]); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, v := range []string{"full", "no-gamma", "hoeffding-walks", "deterministic-L"} {
+		if !strings.Contains(out, v) {
+			t.Fatalf("ablation output missing %q:\n%s", v, out)
+		}
+	}
+}
+
+func TestFigure7RestrictsMethods(t *testing.T) {
+	var buf bytes.Buffer
+	opt := tinyOptions()
+	opt.Methods = nil // Figure7 overrides
+	if err := Figure7(&buf, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, banned := range []string{"READS", "TSF", "SLING", "TopSim"} {
+		if strings.Contains(out, banned) {
+			t.Fatalf("Figure 7 ran %s:\n%s", banned, out)
+		}
+	}
+	if !strings.Contains(out, "SimPush") {
+		t.Fatalf("Figure 7 missing SimPush:\n%s", out)
+	}
+}
+
+func TestFiguresEmitters(t *testing.T) {
+	opt := tinyOptions()
+	opt.Methods = []string{"SimPush"}
+	ds := []gen.Dataset{gen.Roster[0]}
+	for name, fn := range map[string]func() error{
+		"fig4": func() error { var b bytes.Buffer; return Figure4(&b, opt, ds) },
+		"fig5": func() error { var b bytes.Buffer; return Figure5(&b, opt, ds) },
+		"fig6": func() error { var b bytes.Buffer; return Figure6(&b, opt, ds) },
+	} {
+		if err := fn(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFigures456Combined(t *testing.T) {
+	opt := tinyOptions()
+	opt.Methods = []string{"SimPush"}
+	var buf bytes.Buffer
+	if err := Figures456(&buf, opt, []gen.Dataset{gen.Roster[0]}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4 panel", "Figure 5 panel", "Figure 6 panel", "build times"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("combined output missing %q", want)
+		}
+	}
+}
+
+func TestWriteRowsExcluded(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []Row{
+		{Dataset: "d", Method: "m", Setting: "s", Excluded: true, Reason: "index over memory cap"},
+		{Dataset: "d", Method: "m", Setting: "s2", AvgErrK: 0.1, QueryTime: time.Millisecond},
+	}
+	writeRows(&buf, rows, "x", "y",
+		func(r Row) string { return "1" }, func(r Row) string { return "2" })
+	out := buf.String()
+	if !strings.Contains(out, "excluded: index over memory cap") {
+		t.Fatalf("excluded row not marked:\n%s", out)
+	}
+}

@@ -1,0 +1,248 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the SimPush paper's evaluation (§5) on the synthetic dataset
+// stand-ins, following the paper's protocol: per-method parameter sweeps,
+// uniformly random query nodes, pooled Monte-Carlo ground truth,
+// AvgError@50 / Precision@50 / peak-memory metrics, and exclusion of
+// configurations that exceed the memory or time budgets.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/simrank/simpush/internal/engine"
+	"github.com/simrank/simpush/internal/eval"
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/limits"
+	"github.com/simrank/simpush/internal/rnd"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Scale shrinks/grows the dataset roster (1.0 = the default stand-in
+	// sizes in gen.Roster).
+	Scale float64
+	// Queries per dataset (the paper uses 100; default 10 to keep full
+	// sweeps in commodity time budgets — adjustable via flags).
+	Queries int
+	// K is the top-k cutoff of the metrics (the paper reports k=50).
+	K int
+	// TruthSamples is the Monte-Carlo walk-pair count per pooled node.
+	TruthSamples int
+	// MaxIndexBytes excludes index-based settings whose index exceeds it.
+	MaxIndexBytes int64
+	// WalkCap bounds per-query walk samples of sampling-based baselines.
+	WalkCap int
+	// MaxQueryTime excludes a setting after its first query exceeds it.
+	MaxQueryTime time.Duration
+	// Methods filters the sweep (nil = all seven).
+	Methods []string
+	// Seed drives query selection and all engines.
+	Seed uint64
+	// Log receives progress lines (nil = quiet).
+	Log io.Writer
+}
+
+// Fill applies defaults.
+func (o *Options) Fill() {
+	if o.Scale == 0 {
+		o.Scale = 1.0
+	}
+	if o.Queries == 0 {
+		o.Queries = 10
+	}
+	if o.K == 0 {
+		o.K = 50
+	}
+	if o.TruthSamples == 0 {
+		o.TruthSamples = 200000
+	}
+	if o.MaxIndexBytes == 0 {
+		o.MaxIndexBytes = 4 << 30
+	}
+	if o.WalkCap == 0 {
+		o.WalkCap = 2_000_000
+	}
+	if o.MaxQueryTime == 0 {
+		o.MaxQueryTime = 30 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x51e9a7
+	}
+	if len(o.Methods) == 0 {
+		o.Methods = engine.MethodNames
+	}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Row is one (dataset, method, setting) measurement — one point of one
+// curve in Figures 4-6 (and 7).
+type Row struct {
+	Dataset  string
+	Method   string
+	Setting  string
+	Rank     int
+	Excluded bool
+	Reason   string
+
+	BuildTime time.Duration
+	QueryTime time.Duration // mean per query
+	AvgErrK   float64       // AvgError@K, mean over queries
+	PrecK     float64       // Precision@K, mean over queries
+	Memory    int64         // graph + index + per-query heap estimate
+}
+
+// RunDataset runs the full sweep on one dataset and computes metrics
+// against pooled ground truth.
+func RunDataset(opt Options, ds gen.Dataset) ([]Row, error) {
+	opt.Fill()
+	g, err := ds.Generate(opt.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("bench: generating %s: %w", ds.Name, err)
+	}
+	opt.logf("# %s: n=%d m=%d", ds.Name, g.N(), g.M())
+	queries := PickQueries(g, opt.Queries, opt.Seed)
+
+	caps := engine.Caps{MaxIndexBytes: opt.MaxIndexBytes, WalkCap: opt.WalkCap}
+	var cfgs []engine.Config
+	for _, m := range opt.Methods {
+		sw, err := engine.Sweep(m, caps)
+		if err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, sw...)
+	}
+
+	rows := make([]Row, len(cfgs))
+	// scores[i][q] is config i's score vector for query q (nil if excluded).
+	scores := make([][][]float64, len(cfgs))
+	// Once a setting of a method exceeds the time budget, every finer
+	// setting of that method is excluded too (cost is monotone in the
+	// precision knob), mirroring the paper's missing curve points.
+	timeExcluded := map[string]int{}
+
+	for i, cfg := range cfgs {
+		rows[i] = Row{Dataset: ds.Name, Method: cfg.Method, Setting: cfg.Setting, Rank: cfg.Rank}
+		row := &rows[i]
+		if rank, hit := timeExcluded[cfg.Method]; hit && cfg.Rank > rank {
+			row.Excluded = true
+			row.Reason = "coarser setting already over time budget"
+			opt.logf("  %s/%s excluded: %s", cfg.Method, cfg.Setting, row.Reason)
+			continue
+		}
+		eng, err := cfg.Make(g, opt.Seed+uint64(i)*7919)
+		if err != nil {
+			row.Excluded = true
+			row.Reason = err.Error()
+			continue
+		}
+		t0 := time.Now()
+		if err := eng.Build(); err != nil {
+			row.Excluded = true
+			var tooBig *limits.ErrIndexTooLarge
+			if errors.As(err, &tooBig) {
+				row.Reason = "index over memory cap"
+			} else {
+				row.Reason = err.Error()
+			}
+			opt.logf("  %s/%s excluded: %s", cfg.Method, cfg.Setting, row.Reason)
+			continue
+		}
+		row.BuildTime = time.Since(t0)
+		if ts, ok := eng.(limits.TimeoutSettable); ok {
+			ts.SetQueryTimeout(opt.MaxQueryTime)
+		}
+
+		scores[i] = make([][]float64, len(queries))
+		var queryTotal time.Duration
+		for q, u := range queries {
+			qt0 := time.Now()
+			s, err := eng.Query(u)
+			qt := time.Since(qt0)
+			if err != nil {
+				row.Excluded = true
+				if errors.Is(err, limits.ErrQueryTimeout) {
+					row.Reason = "query over time budget"
+					timeExcluded[cfg.Method] = cfg.Rank
+				} else {
+					row.Reason = err.Error()
+				}
+				break
+			}
+			queryTotal += qt
+			scores[i][q] = s
+			if q == 0 && qt > opt.MaxQueryTime {
+				row.Excluded = true
+				row.Reason = fmt.Sprintf("query time %.1fs over budget", qt.Seconds())
+				timeExcluded[cfg.Method] = cfg.Rank
+				break
+			}
+		}
+		if row.Excluded {
+			scores[i] = nil
+			opt.logf("  %s/%s excluded: %s", cfg.Method, cfg.Setting, row.Reason)
+			continue
+		}
+		row.QueryTime = queryTotal / time.Duration(len(queries))
+		row.Memory = g.MemoryBytes() + eng.IndexBytes()
+		opt.logf("  %s/%s: build=%v query=%v", cfg.Method, cfg.Setting, row.BuildTime, row.QueryTime)
+	}
+
+	// Pooled ground truth per query (paper §5.1), then metrics per config.
+	for q, u := range queries {
+		var pool [][]float64
+		for i := range cfgs {
+			if scores[i] != nil && scores[i][q] != nil {
+				pool = append(pool, scores[i][q])
+			}
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		gt := eval.BuildPooledTruth(g, 0.6, u, pool, opt.K, opt.TruthSamples, opt.Seed^uint64(u)<<1)
+		for i := range cfgs {
+			if scores[i] == nil || scores[i][q] == nil {
+				continue
+			}
+			rows[i].AvgErrK += eval.AvgErrorAtK(gt, scores[i][q])
+			rows[i].PrecK += eval.PrecisionAtK(gt, scores[i][q])
+		}
+		opt.logf("  truth for query %d/%d done", q+1, len(queries))
+	}
+	for i := range rows {
+		if !rows[i].Excluded {
+			rows[i].AvgErrK /= float64(len(queries))
+			rows[i].PrecK /= float64(len(queries))
+		}
+	}
+	return rows, nil
+}
+
+// PickQueries samples query nodes uniformly at random (without
+// replacement), matching the paper's query-set generation.
+func PickQueries(g *graph.Graph, count int, seed uint64) []int32 {
+	r := rnd.New(seed ^ 0xabcd1234)
+	n := g.N()
+	if int32(count) > n {
+		count = int(n)
+	}
+	seen := make(map[int32]struct{}, count)
+	out := make([]int32, 0, count)
+	for len(out) < count {
+		v := r.Int31n(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

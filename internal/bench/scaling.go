@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/simrank/simpush/internal/core"
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/probesim"
+)
+
+// Table1 reproduces the complexity comparison (paper Table 1) in two
+// parts: the analytic table as printed in the paper, and an empirical
+// scaling sweep that measures SimPush and ProbeSim query time on
+// copying-model web graphs of doubling size at fixed ε, validating the
+// asymptotic shapes (SimPush ~ m·log(1/ε)/ε + log(1/δ)/ε²; ProbeSim ~
+// n·log(n/δ)/ε² probe work).
+func Table1(w io.Writer, opt Options) error {
+	opt.Fill()
+	fmt.Fprintln(w, "== Table 1: complexity comparison ==")
+	fmt.Fprintln(w, "algorithm\tquery_time\tindex_size\tpreprocessing")
+	for _, row := range [][4]string{
+		{"SimPush", "O(m·log(1/eps)/eps + log(1/delta)/eps^2 + 1/eps^3)", "-", "-"},
+		{"TSF", "O(n·log(n/delta)/eps^2)", "O(n·log(n/delta)/eps^2)", "O(n·log(n/delta)/eps^2)"},
+		{"READS", "O(n·log(n/delta)/eps^2)", "O(n·log(n/delta)/eps^2)", "O(n·log(n/delta)/eps^2)"},
+		{"ProbeSim", "O(n·log(n/delta)/eps^2)", "-", "-"},
+		{"SLING", "O(n/eps)", "O(n/eps)", "O(m/eps + n·log(n/delta)/eps^2)"},
+		{"PRSim", "O(n·log(n/delta)/eps^2)", "O(min{n/eps, m})", "O(m/eps)"},
+	} {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", row[0], row[1], row[2], row[3])
+	}
+
+	fmt.Fprintln(w, "\n-- empirical scaling (copying-model web graphs, eps=0.02 / eps_a=0.05) --")
+	fmt.Fprintln(w, "n\tm\tsimpush_query_s\tprobesim_query_s")
+	sizes := []int32{10000, 20000, 40000, 80000, 160000}
+	if opt.Scale < 1 {
+		for i := range sizes {
+			sizes[i] = int32(float64(sizes[i]) * opt.Scale)
+			if sizes[i] < 1000 {
+				sizes[i] = 1000
+			}
+		}
+	}
+	for _, n := range sizes {
+		g, err := gen.CopyingModel(n, 10, 0.3, 0xbeef+uint64(n))
+		if err != nil {
+			return err
+		}
+		queries := PickQueries(g, opt.Queries, opt.Seed)
+
+		sp, err := core.New(g, core.Options{Epsilon: 0.02, Seed: opt.Seed})
+		if err != nil {
+			return err
+		}
+		spTime := timeQueries(len(queries), func(i int) error {
+			_, err := sp.Query(queries[i])
+			return err
+		})
+
+		pb, err := probesim.New(g, probesim.Params{EpsA: 0.05, Seed: opt.Seed, WalkCap: opt.WalkCap})
+		if err != nil {
+			return err
+		}
+		pbTime := timeQueries(len(queries), func(i int) error {
+			_, err := pb.Query(queries[i])
+			return err
+		})
+
+		fmt.Fprintf(w, "%d\t%d\t%.6f\t%.6f\n", g.N(), g.M(), spTime.Seconds(), pbTime.Seconds())
+	}
+	return nil
+}
+
+// timeQueries runs fn count times and returns the mean duration; the
+// first error aborts with a zero duration.
+func timeQueries(count int, fn func(i int) error) time.Duration {
+	t0 := time.Now()
+	for i := 0; i < count; i++ {
+		if err := fn(i); err != nil {
+			return 0
+		}
+	}
+	return time.Since(t0) / time.Duration(count)
+}

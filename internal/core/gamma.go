@@ -1,0 +1,83 @@
+package core
+
+// computeGamma is Algorithm 4: the last-meeting probability γ^(ℓ)(w) of
+// attention node w within G_u (Definition 4), via the first-meeting
+// recursion of Eqs. 9-11:
+//
+//	ρ^(1)(w, w₁) = h̃^(1)(w, w₁)²
+//	ρ^(i)(w, wᵢ) = h̃^(i)(w, wᵢ)² − Σ_{j<i} Σ_{wⱼ} ρ^(j)(w, wⱼ)·h̃^(i−j)(wⱼ, wᵢ)²
+//	γ^(ℓ)(w)     = 1 − Σ_i Σ_{wᵢ} ρ^(i)(w, wᵢ)
+//
+// ρ values are finalized in increasing level order: every subtraction into
+// a level-(ℓ+i) target comes from a strictly shallower attention node, so a
+// single forward sweep suffices.
+//
+// Numerical note: ignoring first meetings at non-attention nodes can drive
+// an individual ρ slightly negative; negative ρ values are clamped to zero
+// both when used as sources and when summed into γ (they represent
+// probabilities), and γ itself is clamped to [0, 1]. The tests
+// cross-validate the resulting scores against exact SimRank.
+func (sp *SimPush) computeGamma(qs *queryState, attIdx int32) float64 {
+	a := &qs.att[attIdx]
+	dl := qs.L - int(a.level)
+	if dl <= 0 || qs.vecs == nil {
+		return 1
+	}
+	vec := qs.vecs[a.level][a.slot]
+	if len(vec) == 0 {
+		return 1
+	}
+
+	// Initialize ρ(w, x) = h̃(w, x)² for every attention target of w.
+	for _, e := range vec {
+		if qs.att[e.a].level == a.level {
+			continue // gap-0 self entry
+		}
+		sp.rhoVal[e.a] = e.v * e.v
+		sp.rhoIn[e.a] = true
+		sp.rhoTouched = append(sp.rhoTouched, e.a)
+	}
+
+	// Forward sweep over intermediate levels ℓ+1 .. L-1.
+	for j := 1; j < dl; j++ {
+		lvl := a.level + int32(j)
+		for _, wj := range sp.rhoTouched {
+			aj := qs.att[wj]
+			if aj.level != lvl {
+				continue
+			}
+			r := sp.rhoVal[wj]
+			if r <= 0 {
+				continue
+			}
+			for _, e := range qs.vecs[lvl][aj.slot] {
+				if qs.att[e.a].level == lvl {
+					continue // wⱼ's self entry
+				}
+				// Targets unreachable from w have exactly zero meeting
+				// probability; do not create spurious negative entries.
+				if !sp.rhoIn[e.a] {
+					continue
+				}
+				sp.rhoVal[e.a] -= r * e.v * e.v
+			}
+		}
+	}
+
+	gamma := 1.0
+	for _, idx := range sp.rhoTouched {
+		if v := sp.rhoVal[idx]; v > 0 {
+			gamma -= v
+		}
+		sp.rhoVal[idx] = 0
+		sp.rhoIn[idx] = false
+	}
+	sp.rhoTouched = sp.rhoTouched[:0]
+	if gamma < 0 {
+		return 0
+	}
+	if gamma > 1 {
+		return 1
+	}
+	return gamma
+}

@@ -1,0 +1,68 @@
+package core
+
+// computeHittingVecs is Algorithm 3: it computes, for every (level, node)
+// of G_u, the hitting probabilities h̃^(i) within G_u to every attention
+// node at deeper levels (Definition 5, Eq. 12).
+//
+// The paper's pseudocode pushes from each level-ℓ node to its out-neighbors
+// in G_u; we run the equivalent pull form — for each target v at level ℓ-1,
+// aggregate the vectors of its in-neighbors (which all live at level ℓ,
+// because Source-Push expanded v's complete in-neighborhood) and scale by
+// √c/d_I(v). This needs no materialized G_u edge set.
+//
+// Vectors are keyed by global attention index, so they are h̃ restricted to
+// attention-node targets — exactly what Algorithm 4 consumes. Non-attention
+// holders participate as intermediaries, as in the paper's Figure 2
+// (e.g. h̃^(1)(w°d, wh)).
+func (sp *SimPush) computeHittingVecs(qs *queryState) {
+	if qs.L < 2 {
+		return
+	}
+	if len(sp.attScratch) < len(qs.att) {
+		sp.attScratch = make([]float64, len(qs.att))
+	}
+	qs.vecs = make([][][]ventry, len(qs.levels))
+	for l := range qs.levels {
+		qs.vecs[l] = make([][]ventry, len(qs.levels[l].nodes))
+	}
+
+	for l := qs.L; l >= 2; l-- {
+		// Self entries h̃^(0)(w, w) = 1 for attention nodes at level l
+		// (Algorithm 3 lines 2-3). Gap-0 entries cannot already exist:
+		// pulls only create entries to strictly deeper levels.
+		for _, ai := range qs.attByLevel[l] {
+			a := qs.att[ai]
+			qs.vecs[l][a.slot] = append(qs.vecs[l][a.slot], ventry{a: ai, v: 1})
+		}
+
+		// Pull from level l into level l-1 (Algorithm 3 lines 4-7).
+		src := qs.vecs[l]
+		srcSlots := sp.slots[l]
+		tgt := &qs.levels[l-1]
+		for i, v := range tgt.nodes {
+			in := sp.g.In(v)
+			if len(in) == 0 {
+				continue
+			}
+			for _, vp := range in {
+				for _, e := range src[srcSlots[vp]] {
+					if sp.attScratch[e.a] == 0 {
+						sp.attTouched = append(sp.attTouched, e.a)
+					}
+					sp.attScratch[e.a] += e.v
+				}
+			}
+			if len(sp.attTouched) == 0 {
+				continue
+			}
+			scale := sp.p.sqrtC / float64(len(in))
+			vec := make([]ventry, len(sp.attTouched))
+			for k, a := range sp.attTouched {
+				vec[k] = ventry{a: a, v: sp.attScratch[a] * scale}
+				sp.attScratch[a] = 0
+			}
+			sp.attTouched = sp.attTouched[:0]
+			qs.vecs[l-1][i] = vec
+		}
+	}
+}

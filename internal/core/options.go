@@ -1,0 +1,136 @@
+// Package core implements SimPush, the index-free single-source SimRank
+// algorithm of Shi et al. (PVLDB 2020): Source-Push attention-node
+// discovery (Algorithm 2), deterministic last-meeting correction within the
+// source graph (Algorithms 3-4), and Reverse-Push score accumulation
+// (Algorithm 5).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// LevelDetectMode selects the sample-size rule for the max-level detection
+// phase of Source-Push (Algorithm 2, lines 1-8).
+type LevelDetectMode int
+
+const (
+	// LevelDetectChernoff sizes the walk sample by multiplicative Chernoff
+	// bounds: n_w = ⌈12·ln(1/((1−√c)·ε_h·δ))/ε_h⌉ with count threshold
+	// n_w·ε_h/2. Detecting whether some node's hitting probability exceeds
+	// ε_h only requires relative-error concentration around the mean ε_h,
+	// so the 1/ε_h² Hoeffding sample of the paper's pseudocode is loose;
+	// this is the default and keeps small-ε settings realtime.
+	LevelDetectChernoff LevelDetectMode = iota
+	// LevelDetectHoeffding uses the paper-literal sample size
+	// n_w = ⌈2·ln(1/((1−√c)·ε_h·δ))/ε_h²⌉ (Algorithm 2 line 2) with the
+	// corrected count threshold ln(…)/ε_h = n_w·ε_h/2 implied by the
+	// Hoeffding argument in the proof of Lemma 5. (The threshold printed
+	// in Algorithm 2 line 6, ln(…)/ε_h², equals half the walk count — an
+	// empirical frequency of ½ — which contradicts that proof.)
+	LevelDetectHoeffding
+	// LevelDetectDeterministic skips the sampling phase entirely and
+	// pushes to the worst-case depth L* = ⌊log_{1/√c}(1/ε_h)⌋ (Lemma 2).
+	// The guarantee becomes deterministic (no δ), but Source-Push explores
+	// every level up to L* instead of the usually much smaller true L —
+	// the ablation that shows why Algorithm 2 samples walks at all.
+	LevelDetectDeterministic
+)
+
+// Options configures a SimPush engine. The zero value of each field selects
+// the paper's defaults.
+type Options struct {
+	// C is the SimRank decay factor. Default 0.6 (the paper's setting).
+	C float64
+	// Epsilon is the maximum absolute error ε of Definition 1. Default 0.02.
+	Epsilon float64
+	// Delta is the failure probability δ. Default 1e-4 (the paper's setting).
+	Delta float64
+	// LevelDetect selects the walk-sampling rule (see the mode docs).
+	LevelDetect LevelDetectMode
+	// DisableGamma skips the last-meeting correction (sets γ ≡ 1). This is
+	// an ablation switch: scores then overestimate SimRank by counting
+	// repeated meetings, quantifying how much Algorithms 3-4 buy.
+	DisableGamma bool
+	// Seed drives the level-detection walks. Queries with the same seed,
+	// graph and options are deterministic.
+	Seed uint64
+	// MaxWalks optionally caps the level-detection sample size (0 = no cap).
+	// Intended for experiments; capping voids the δ guarantee.
+	MaxWalks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.02
+	}
+	if o.Delta == 0 {
+		o.Delta = 1e-4
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("core: decay factor c must be in (0,1), got %v", o.C)
+	}
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("core: epsilon must be in (0,1), got %v", o.Epsilon)
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return fmt.Errorf("core: delta must be in (0,1), got %v", o.Delta)
+	}
+	return nil
+}
+
+// params holds the quantities derived from Options that the three stages
+// share (Table 2 of the paper).
+type params struct {
+	c     float64
+	sqrtC float64
+	eps   float64
+	epsH  float64 // ε_h = (1−√c)/(3√c)·ε  (Definition 3 / Lemma 4)
+	delta float64
+	lStar int // L* = ⌊log_{1/√c}(1/ε_h)⌋  (Lemma 2)
+
+	nWalks    int   // level-detection sample size
+	countThld int32 // per-(level,node) count threshold for detecting L
+}
+
+func deriveParams(o Options) params {
+	p := params{c: o.C, sqrtC: math.Sqrt(o.C), eps: o.Epsilon, delta: o.Delta}
+	p.epsH = (1 - p.sqrtC) / (3 * p.sqrtC) * p.eps
+	p.lStar = int(math.Floor(math.Log(1/p.epsH) / math.Log(1/p.sqrtC)))
+	if p.lStar < 1 {
+		p.lStar = 1
+	}
+	// X = 1/((1−√c)·ε_h·δ): the union-bound term of Lemma 5.
+	logX := math.Log(1 / ((1 - p.sqrtC) * p.epsH * p.delta))
+	if logX < 1 {
+		logX = 1
+	}
+	switch o.LevelDetect {
+	case LevelDetectHoeffding:
+		p.nWalks = int(math.Ceil(2 * logX / (p.epsH * p.epsH)))
+	case LevelDetectDeterministic:
+		p.nWalks = 0
+	default:
+		p.nWalks = int(math.Ceil(12 * logX / p.epsH))
+	}
+	if o.MaxWalks > 0 && p.nWalks > o.MaxWalks {
+		p.nWalks = o.MaxWalks
+	}
+	p.countThld = int32(math.Ceil(float64(p.nWalks) * p.epsH / 2))
+	if p.countThld < 1 {
+		p.countThld = 1
+	}
+	return p
+}
+
+// MaxAttentionNodes returns the Lemma 2 bound ⌊√c/((1−√c)·ε_h)⌋ on |A_u|.
+func (p params) MaxAttentionNodes() int {
+	return int(math.Floor(p.sqrtC / ((1 - p.sqrtC) * p.epsH)))
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/simrank/simpush/internal/gen"
+)
+
+// newPaperExampleEngine builds a SimPush engine tuned to the paper's
+// running example: ε_h = 0.12 (Figure 1 uses this threshold directly; it
+// does not correspond to a valid ε, so the derived parameters are
+// overridden for the test).
+func newPaperExampleEngine(t *testing.T) *SimPush {
+	t.Helper()
+	g := gen.PaperFigure1()
+	sp, err := New(g, Options{C: 0.6, Epsilon: 0.5, Delta: 1e-4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.p.epsH = 0.12
+	sp.p.lStar = 8
+	sp.p.nWalks = 20000
+	sp.p.countThld = int32(20000 * 0.12 / 2)
+	return sp
+}
+
+// Node ids in gen.PaperFigure1.
+const (
+	nU  = 0
+	nWa = 1
+	nWb = 2
+	nWc = 3
+	nWd = 4
+	nWe = 5
+	nWf = 6
+	nWg = 7
+	nWh = 8
+	nWp = 9
+	nWx = 10
+)
+
+func runExampleQueryState(t *testing.T, sp *SimPush) *queryState {
+	t.Helper()
+	qs := &queryState{u: nU}
+	sp.sourcePush(qs)
+	if qs.L != 3 {
+		t.Fatalf("detected L = %d, want 3", qs.L)
+	}
+	return qs
+}
+
+func levelH(qs *queryState, l int, node int32) float64 {
+	lv := qs.levels[l]
+	for i, v := range lv.nodes {
+		if v == node {
+			return lv.h[i]
+		}
+	}
+	return 0
+}
+
+// TestPaperFigure1Hitting verifies every hitting probability printed in
+// Figure 1(a) of the paper.
+func TestPaperFigure1Hitting(t *testing.T) {
+	sp := newPaperExampleEngine(t)
+	qs := runExampleQueryState(t, sp)
+	defer sp.resetSlots(qs)
+
+	sqrtC := math.Sqrt(0.6)
+	want := []struct {
+		l    int
+		node int32
+		h    float64
+	}{
+		{1, nWa, sqrtC / 3}, // 0.258
+		{1, nWb, sqrtC / 3},
+		{1, nWc, sqrtC / 3},
+		{2, nWd, 0.1},
+		{2, nWe, 0.3},
+		{2, nWf, 0.1},
+		{2, nWg, 0.1},
+		{3, nWh, 0.194},
+		{3, nWp, 0.155},
+		{3, nWc, 0.039},
+	}
+	for _, w := range want {
+		got := levelH(qs, w.l, w.node)
+		if math.Abs(got-w.h) > 5e-4 {
+			t.Errorf("h^(%d)(u, %d) = %v, want %v", w.l, w.node, got, w.h)
+		}
+	}
+}
+
+// TestPaperFigure1Attention verifies the attention sets of Figure 1(a):
+// A⁽¹⁾ = {wa, wb, wc}, A⁽²⁾ = {we}, A⁽³⁾ = {wh, wp}.
+func TestPaperFigure1Attention(t *testing.T) {
+	sp := newPaperExampleEngine(t)
+	qs := runExampleQueryState(t, sp)
+	defer sp.resetSlots(qs)
+
+	got := map[int]map[int32]bool{}
+	for _, a := range qs.att {
+		l := int(a.level)
+		if got[l] == nil {
+			got[l] = map[int32]bool{}
+		}
+		got[l][a.node] = true
+	}
+	want := map[int]map[int32]bool{
+		1: {nWa: true, nWb: true, nWc: true},
+		2: {nWe: true},
+		3: {nWh: true, nWp: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("attention levels = %v, want %v", got, want)
+	}
+	for l, nodes := range want {
+		if len(got[l]) != len(nodes) {
+			t.Fatalf("A^(%d) = %v, want %v", l, got[l], nodes)
+		}
+		for v := range nodes {
+			if !got[l][v] {
+				t.Errorf("A^(%d) missing node %d", l, v)
+			}
+		}
+	}
+}
+
+// TestPaperFigure2Hitting verifies the within-G_u hitting probabilities
+// listed in Figure 2 of the paper (between attention nodes and the
+// non-attention intermediary w°d).
+func TestPaperFigure2Hitting(t *testing.T) {
+	sp := newPaperExampleEngine(t)
+	qs := runExampleQueryState(t, sp)
+	defer sp.resetSlots(qs)
+	sp.computeHittingVecs(qs)
+
+	attIdxOf := func(l int, node int32) int32 {
+		for i, a := range qs.att {
+			if int(a.level) == l && a.node == node {
+				return int32(i)
+			}
+		}
+		t.Fatalf("no attention node (%d, %d)", l, node)
+		return -1
+	}
+	hTilde := func(holderLevel int, holder int32, targetLevel int, target int32) float64 {
+		slot := sp.slots[holderLevel][holder]
+		if slot < 0 {
+			t.Fatalf("node %d not at level %d", holder, holderLevel)
+		}
+		ti := attIdxOf(targetLevel, target)
+		for _, e := range qs.vecs[holderLevel][slot] {
+			if e.a == ti {
+				return e.v
+			}
+		}
+		return 0
+	}
+
+	sqrtC := math.Sqrt(0.6)
+	checks := []struct {
+		hl   int
+		h    int32
+		tl   int
+		tn   int32
+		want float64
+	}{
+		{2, nWd, 3, nWh, sqrtC},     // h̃¹(w°d, wh) = 0.775
+		{2, nWe, 3, nWh, sqrtC / 2}, // 0.387
+		{2, nWe, 3, nWp, sqrtC / 2},
+		{2, nWf, 3, nWp, sqrtC / 2},
+		{1, nWa, 2, nWe, sqrtC / 2},
+		{1, nWa, 3, nWh, 0.45},
+		{1, nWa, 3, nWp, 0.15},
+		{1, nWb, 2, nWe, sqrtC},
+		{1, nWb, 3, nWh, 0.3},
+		{1, nWb, 3, nWp, 0.3},
+		{1, nWc, 3, nWp, 0.15},
+		{1, nWc, 3, nWh, 0},
+	}
+	for _, c := range checks {
+		got := hTilde(c.hl, c.h, c.tl, c.tn)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("h̃(level %d node %d -> level %d node %d) = %v, want %v",
+				c.hl, c.h, c.tl, c.tn, got, c.want)
+		}
+	}
+}
+
+// TestPaperExampleGamma verifies the last-meeting probabilities derived by
+// hand from Eqs. 9-11 on the running example:
+// γ³(wh)=γ³(wp)=1, γ²(we)=0.7, γ¹(wa)=0.67, γ¹(wb)=0.4, γ¹(wc)=0.9775.
+func TestPaperExampleGamma(t *testing.T) {
+	sp := newPaperExampleEngine(t)
+	qs := runExampleQueryState(t, sp)
+	defer sp.resetSlots(qs)
+	sp.computeHittingVecs(qs)
+	sp.ensureGammaScratch(len(qs.att))
+
+	want := map[[2]int32]float64{
+		{3, nWh}: 1,
+		{3, nWp}: 1,
+		{2, nWe}: 0.7,
+		{1, nWa}: 0.67,
+		{1, nWb}: 0.4,
+		{1, nWc}: 0.9775,
+	}
+	for i := range qs.att {
+		a := qs.att[i]
+		g := sp.computeGamma(qs, int32(i))
+		key := [2]int32{a.level, a.node}
+		w, ok := want[key]
+		if !ok {
+			t.Errorf("unexpected attention node %v", key)
+			continue
+		}
+		if math.Abs(g-w) > 1e-9 {
+			t.Errorf("γ^(%d)(%d) = %v, want %v", a.level, a.node, g, w)
+		}
+	}
+}
+
+// TestPaperExampleRho verifies ρ²(wa, wh) = 0.18 (the worked subtraction
+// in Section 4.2) indirectly through γ¹(wa) plus the direct components.
+func TestPaperExampleScores(t *testing.T) {
+	sp := newPaperExampleEngine(t)
+	res, err := sp.Query(nU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[nU] != 1 {
+		t.Fatal("self score != 1")
+	}
+	if res.L != 3 {
+		t.Fatalf("L = %d", res.L)
+	}
+	if len(res.Attention) != 6 {
+		t.Fatalf("attention count = %d, want 6", len(res.Attention))
+	}
+	for v, s := range res.Scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("score[%d] = %v out of range", v, s)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/rnd"
+)
+
+// randomGraph draws a small random graph from one of several families,
+// deterministically from a uint32 token.
+func randomGraph(token uint32) *graph.Graph {
+	r := rnd.New(uint64(token)*0x9e3779b97f4a7c15 + 0x1234)
+	n := int32(20 + r.Intn(120))
+	var g *graph.Graph
+	var err error
+	switch token % 4 {
+	case 0:
+		g, err = gen.ErdosRenyi(n, int64(n)*int64(2+r.Intn(5)), r.Uint64())
+	case 1:
+		g, err = gen.CopyingModel(n, 2+r.Intn(5), 0.2+r.Float64()*0.5, r.Uint64())
+	case 2:
+		g, err = gen.BarabasiAlbert(n, 1+r.Intn(3), r.Uint64())
+	default:
+		g, err = gen.ForestFire(n, 0.2+r.Float64()*0.25, r.Uint64())
+	}
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Property: scores are in [0,1], the self score is 1, and every structural
+// bound of Lemma 2 holds, on arbitrary random graphs and query nodes.
+func TestQuickScoreInvariants(t *testing.T) {
+	sp := func(token uint32, queryTok uint32) bool {
+		g := randomGraph(token)
+		eng, err := New(g, Options{Epsilon: 0.05, Seed: uint64(token)})
+		if err != nil {
+			return false
+		}
+		u := int32(queryTok % uint32(g.N()))
+		res, err := eng.Query(u)
+		if err != nil {
+			return false
+		}
+		if res.Scores[u] != 1 {
+			return false
+		}
+		for _, s := range res.Scores {
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				return false
+			}
+		}
+		if len(res.Attention) > eng.p.MaxAttentionNodes() {
+			return false
+		}
+		if res.L > eng.p.lStar || res.L < 0 {
+			return false
+		}
+		for _, a := range res.Attention {
+			if a.Gamma < 0 || a.Gamma > 1 || a.H < eng.p.epsH {
+				return false
+			}
+			if a.Level < 1 || a.Level > res.L {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(sp, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-level hitting-probability mass never exceeds √c^ℓ (it is
+// exactly √c^ℓ when no dangling node truncates a walk).
+func TestQuickLevelMassBound(t *testing.T) {
+	f := func(token uint32) bool {
+		g := randomGraph(token)
+		eng, err := New(g, Options{Epsilon: 0.05, Seed: uint64(token)})
+		if err != nil {
+			return false
+		}
+		qs := &queryState{u: int32(token % uint32(g.N()))}
+		eng.sourcePush(qs)
+		defer eng.resetSlots(qs)
+		sqrtC := math.Sqrt(eng.opt.C)
+		for l, lv := range qs.levels {
+			var sum float64
+			for _, h := range lv.h {
+				sum += h
+			}
+			if sum > math.Pow(sqrtC, float64(l))+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: γ-corrected scores never exceed γ-free scores (the correction
+// only removes double-counted meeting mass).
+func TestQuickGammaMonotone(t *testing.T) {
+	f := func(token uint32) bool {
+		g := randomGraph(token)
+		u := int32((token >> 3) % uint32(g.N()))
+		with, err := New(g, Options{Epsilon: 0.05, Seed: uint64(token)})
+		if err != nil {
+			return false
+		}
+		without, err := New(g, Options{Epsilon: 0.05, Seed: uint64(token), DisableGamma: true})
+		if err != nil {
+			return false
+		}
+		a, err := with.Query(u)
+		if err != nil {
+			return false
+		}
+		b, err := without.Query(u)
+		if err != nil {
+			return false
+		}
+		for v := range a.Scores {
+			if a.Scores[v] > b.Scores[v]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: queries are pure — running the same query twice on one engine
+// yields identical output (scratch is fully reset).
+func TestQuickQueryIdempotent(t *testing.T) {
+	f := func(token uint32) bool {
+		g := randomGraph(token)
+		u := int32((token >> 5) % uint32(g.N()))
+		eng, err := New(g, Options{Epsilon: 0.02, Seed: uint64(token)})
+		if err != nil {
+			return false
+		}
+		a, err := eng.Query(u)
+		if err != nil {
+			return false
+		}
+		// interleave a query from a different node to dirty the scratch
+		if _, err := eng.Query((u + 1) % g.N()); err != nil {
+			return false
+		}
+		b, err := eng.Query(u)
+		if err != nil {
+			return false
+		}
+		for v := range a.Scores {
+			if a.Scores[v] != b.Scores[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on graphs whose SimRank is identically zero off-diagonal
+// (directed cycles), SimPush returns exactly zero everywhere.
+func TestQuickCycleZero(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int32(raw%60) + 3
+		g := gen.Cycle(n)
+		eng, err := New(g, Options{Epsilon: 0.02, Seed: uint64(raw)})
+		if err != nil {
+			return false
+		}
+		res, err := eng.Query(int32(raw) % n)
+		if err != nil {
+			return false
+		}
+		for v, s := range res.Scores {
+			if int32(v) == int32(raw)%n {
+				continue
+			}
+			if s != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+)
+
+// Reverse-Push on a two-level chain must reproduce the closed form:
+// graph 0->1, 0->2, 1->3, 2->4 (query 3): the only attention chain is
+// 3 <- 1 <- 0 with meeting at 0 against node 4's chain 4 <- 2 <- 0.
+func TestReversePushClosedForm(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2}, [2]int32{1, 3}, [2]int32{2, 4})
+	sp := mustEngine(t, g, Options{Epsilon: 0.01, Seed: 2})
+	res, err := sp.Query(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s(3,4) = c²  (two-hop chain; no repeated meetings possible)
+	if math.Abs(res.Scores[4]-0.36) > 0.01 {
+		t.Fatalf("s(3,4) = %v, want 0.36", res.Scores[4])
+	}
+	// s(3,1): walks from 3 (3->1->0 stops) and from 1 (1->0): can meet at
+	// 0 at step... 3's walk is at 1 after one step, at 0 after two; 1's
+	// walk is at 0 after one step and stops... different steps => 0.
+	if res.Scores[1] != 0 {
+		t.Fatalf("s(3,1) = %v, want 0", res.Scores[1])
+	}
+}
+
+// The ε_h pruning must actually drop residues: with a huge epsilon every
+// residue falls below the threshold and only near-certain mass survives.
+func TestReversePushPruning(t *testing.T) {
+	g, err := gen.CopyingModel(500, 5, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := mustEngine(t, g, Options{Epsilon: 0.5, Seed: 4})
+	fine := mustEngine(t, g, Options{Epsilon: 0.005, Seed: 4})
+	u := int32(7)
+	rc, err := coarse.Query(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fine.Query(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var massCoarse, massFine float64
+	for v := int32(0); v < g.N(); v++ {
+		if v == u {
+			continue
+		}
+		massCoarse += rc.Scores[v]
+		massFine += rf.Scores[v]
+	}
+	if massCoarse > massFine+1e-9 {
+		t.Fatalf("coarse run recovered more mass: %v vs %v", massCoarse, massFine)
+	}
+}
+
+// A query whose L is 1 must skip Algorithms 3-4 entirely (no vectors) and
+// still produce correct level-1 contributions.
+func TestSingleLevelQuery(t *testing.T) {
+	// u=1 and sibling 2 share parent 0; nothing deeper exists.
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
+	sp := mustEngine(t, g, Options{Epsilon: 0.02, Seed: 5})
+	res, err := sp.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L != 1 {
+		t.Fatalf("L = %d, want 1", res.L)
+	}
+	for _, a := range res.Attention {
+		if a.Gamma != 1 {
+			t.Fatalf("level-1-only query should have γ=1, got %v", a.Gamma)
+		}
+	}
+	if math.Abs(res.Scores[2]-0.6) > 0.02 {
+		t.Fatalf("s(1,2) = %v", res.Scores[2])
+	}
+}
+
+// Self-loops are legal graph inputs; the query node with a self-loop must
+// not corrupt level bookkeeping.
+func TestSelfLoopGraph(t *testing.T) {
+	b := graph.NewBuilder(graph.BuildOptions{})
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := mustEngine(t, g, Options{Epsilon: 0.05, Seed: 6})
+	for u := int32(0); u < 2; u++ {
+		res, err := sp.Query(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Scores[u] != 1 {
+			t.Fatal("self score")
+		}
+		for _, s := range res.Scores {
+			if s < 0 || s > 1 {
+				t.Fatalf("score out of range: %v", s)
+			}
+		}
+	}
+}
+
+// Gamma must be exactly 1 for attention nodes at the deepest level L.
+func TestGammaAtDeepestLevel(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := mustEngine(t, g, Options{Epsilon: 0.05, Seed: 7})
+	res, err := sp.Query(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Attention {
+		if a.Level == res.L && a.Gamma != 1 {
+			t.Fatalf("deepest-level attention node has γ=%v", a.Gamma)
+		}
+	}
+}

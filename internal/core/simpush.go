@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/rnd"
+	"github.com/simrank/simpush/internal/walk"
+)
+
+// SimPush answers approximate single-source SimRank queries on a fixed
+// graph with no precomputation (Algorithm 1 of the paper).
+//
+// A SimPush engine owns reusable query scratch and is therefore not safe
+// for concurrent queries; create one engine per goroutine (construction is
+// cheap — there is no index).
+type SimPush struct {
+	g   *graph.Graph
+	opt Options
+	p   params
+
+	walker  *walk.Walker
+	counter *walk.LevelCounter
+
+	// hScratch accumulates hitting probabilities for the level currently
+	// being pushed into; reset via the touched list after compression.
+	hScratch []float64
+	hTouched []int32
+	// slots[l][v] is v's index within level l of G_u, or -1.
+	slots [][]int32
+
+	// Algorithm 3 scratch: dense accumulator over attention indices.
+	attScratch []float64
+	attTouched []int32
+
+	// Algorithm 4 scratch: ρ values over attention indices.
+	rhoVal     []float64
+	rhoIn      []bool
+	rhoTouched []int32
+
+	// Algorithm 5 scratch: residues for the current and next level.
+	rCur, rNxt             []float64
+	curTouched, nxtTouched []int32
+}
+
+// ventry is one sparse-vector entry: hitting probability from the holding
+// (level, node) to the attention node with index a.
+type ventry struct {
+	a int32
+	v float64
+}
+
+// level holds the nodes of one level of the source graph G_u together with
+// their exact hitting probabilities h^(ℓ)(u, ·) from the query node.
+type level struct {
+	nodes  []int32
+	h      []float64
+	attIdx []int32 // parallel: attention index, or -1
+}
+
+// attNode is one attention node (Definition 3): a (level, node) pair with
+// h^(ℓ)(u, node) ≥ ε_h.
+type attNode struct {
+	level int32
+	node  int32
+	slot  int32 // index within its level
+	h     float64
+	gamma float64
+}
+
+// queryState carries all per-query intermediate structures.
+type queryState struct {
+	u          int32
+	L          int
+	levels     []level
+	att        []attNode
+	attByLevel [][]int32 // attention indices per level (1..L)
+	vecs       [][][]ventry
+}
+
+// AttentionInfo describes one attention node of a query, for diagnostics
+// and for the paper's in-text statistics (avg L, |A_u|).
+type AttentionInfo struct {
+	Level int
+	Node  int32
+	H     float64 // h^(ℓ)(u, Node)
+	Gamma float64 // γ^(ℓ)(Node)
+}
+
+// StageDurations reports per-stage wall time of one query.
+type StageDurations struct {
+	SourcePush  time.Duration
+	Gamma       time.Duration
+	ReversePush time.Duration
+}
+
+// Result is the answer to a single-source SimRank query.
+type Result struct {
+	// Scores[v] estimates s(u, v); Scores[u] == 1.
+	Scores []float64
+	// L is the detected max level of the source graph.
+	L int
+	// Walks is the number of √c-walks sampled for level detection.
+	Walks int
+	// SourceGraphSize is the total number of (level, node) entries in G_u.
+	SourceGraphSize int
+	// Attention lists all attention nodes with their γ values.
+	Attention []AttentionInfo
+	// Durations breaks the query into the three algorithm stages.
+	Durations StageDurations
+}
+
+// New constructs a SimPush engine for g. It performs no preprocessing
+// beyond allocating O(n) scratch.
+func New(g *graph.Graph, opt Options) (*SimPush, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	p := deriveParams(opt)
+	sp := &SimPush{
+		g:       g,
+		opt:     opt,
+		p:       p,
+		walker:  walk.NewWalker(g, opt.C, rnd.New(opt.Seed^0x51a97c15deadbeef)),
+		counter: walk.NewLevelCounter(g.N()),
+	}
+	sp.hScratch = make([]float64, g.N())
+	return sp, nil
+}
+
+// Options returns the engine's effective (defaulted) options.
+func (sp *SimPush) Options() Options {
+	return sp.opt
+}
+
+// Epsilon returns the effective error parameter.
+func (sp *SimPush) Epsilon() float64 {
+	return sp.p.eps
+}
+
+// Graph returns the underlying graph.
+func (sp *SimPush) Graph() *graph.Graph {
+	return sp.g
+}
+
+// MemoryBytes estimates the engine's persistent scratch footprint (the
+// graph itself is excluded; there is no index).
+func (sp *SimPush) MemoryBytes() int64 {
+	var b int64
+	b += int64(len(sp.hScratch)) * 8
+	for _, s := range sp.slots {
+		b += int64(len(s)) * 4
+	}
+	b += int64(len(sp.rCur)+len(sp.rNxt)) * 8
+	b += int64(len(sp.attScratch)+len(sp.rhoVal)) * 8
+	return b
+}
+
+// Query computes s̃(u, v) for every v (Algorithm 1).
+func (sp *SimPush) Query(u int32) (*Result, error) {
+	if !sp.g.HasNode(u) {
+		return nil, fmt.Errorf("core: query node %d out of range [0, %d)", u, sp.g.N())
+	}
+	qs := &queryState{u: u}
+
+	t0 := time.Now()
+	sp.sourcePush(qs) // Algorithm 2
+	t1 := time.Now()
+
+	if sp.opt.DisableGamma {
+		for i := range qs.att {
+			qs.att[i].gamma = 1
+		}
+	} else {
+		sp.computeHittingVecs(qs) // Algorithm 3
+		sp.ensureGammaScratch(len(qs.att))
+		for i := range qs.att {
+			qs.att[i].gamma = sp.computeGamma(qs, int32(i)) // Algorithm 4
+		}
+	}
+	t2 := time.Now()
+
+	scores := make([]float64, sp.g.N())
+	sp.reversePush(qs, scores) // Algorithm 5
+	t3 := time.Now()
+
+	res := &Result{
+		Scores: scores,
+		L:      qs.L,
+		Walks:  sp.p.nWalks,
+		Durations: StageDurations{
+			SourcePush:  t1.Sub(t0),
+			Gamma:       t2.Sub(t1),
+			ReversePush: t3.Sub(t2),
+		},
+	}
+	for _, lv := range qs.levels {
+		res.SourceGraphSize += len(lv.nodes)
+	}
+	res.Attention = make([]AttentionInfo, len(qs.att))
+	for i, a := range qs.att {
+		res.Attention[i] = AttentionInfo{Level: int(a.level), Node: a.node, H: a.h, Gamma: a.gamma}
+	}
+
+	sp.resetSlots(qs)
+	return res, nil
+}
+
+// ensureGammaScratch sizes the Algorithm 4 scratch to the number of
+// attention nodes (bounded by Lemma 2, but sized to the actual count).
+func (sp *SimPush) ensureGammaScratch(numAtt int) {
+	if len(sp.rhoVal) < numAtt {
+		sp.rhoVal = make([]float64, numAtt)
+		sp.rhoIn = make([]bool, numAtt)
+	}
+}
+
+// resetSlots restores the -1 sentinel for every slot the query touched.
+func (sp *SimPush) resetSlots(qs *queryState) {
+	for l, lv := range qs.levels {
+		s := sp.slots[l]
+		for _, v := range lv.nodes {
+			s[v] = -1
+		}
+	}
+}
+
+// slotLevel returns the slot array for level l, growing lazily.
+func (sp *SimPush) slotLevel(l int) []int32 {
+	for len(sp.slots) <= l {
+		s := make([]int32, sp.g.N())
+		for i := range s {
+			s[i] = -1
+		}
+		sp.slots = append(sp.slots, s)
+	}
+	return sp.slots[l]
+}

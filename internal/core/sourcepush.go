@@ -1,0 +1,111 @@
+package core
+
+// sourcePush is Algorithm 2: it detects the max level L by √c-walk
+// sampling, then computes the exact hitting probabilities h^(ℓ)(u, ·) for
+// ℓ = 0..L by deterministic residue propagation over in-edges, recording
+// the source graph G_u level by level, and finally extracts the attention
+// sets A_u^(ℓ) = {w : h^(ℓ)(u, w) ≥ ε_h}.
+func (sp *SimPush) sourcePush(qs *queryState) {
+	qs.L = sp.detectMaxLevel(qs.u)
+
+	// Level 0 holds only the query node with h^(0)(u, u) = 1.
+	sp.slotLevel(0)[qs.u] = 0
+	qs.levels = append(qs.levels, level{
+		nodes:  []int32{qs.u},
+		h:      []float64{1},
+		attIdx: []int32{-1},
+	})
+
+	// Push levels 0 .. L-1 (Algorithm 2 lines 9-19). Every node v in the
+	// frontier sends √c·h^(ℓ)(u,v)/d_I(v) to each in-neighbor; in-neighbors
+	// form level ℓ+1.
+	for l := 0; l < qs.L; l++ {
+		cur := &qs.levels[l]
+		for i, v := range cur.nodes {
+			in := sp.g.In(v)
+			if len(in) == 0 {
+				continue
+			}
+			w := sp.p.sqrtC * cur.h[i] / float64(len(in))
+			for _, vp := range in {
+				if sp.hScratch[vp] == 0 {
+					sp.hTouched = append(sp.hTouched, vp)
+				}
+				sp.hScratch[vp] += w
+			}
+		}
+		if len(sp.hTouched) == 0 {
+			// Frontier died (all nodes dangling): G_u ends here.
+			qs.L = l
+			break
+		}
+		next := level{
+			nodes:  make([]int32, len(sp.hTouched)),
+			h:      make([]float64, len(sp.hTouched)),
+			attIdx: make([]int32, len(sp.hTouched)),
+		}
+		slots := sp.slotLevel(l + 1)
+		for i, v := range sp.hTouched {
+			next.nodes[i] = v
+			next.h[i] = sp.hScratch[v]
+			next.attIdx[i] = -1
+			sp.hScratch[v] = 0
+			slots[v] = int32(i)
+		}
+		sp.hTouched = sp.hTouched[:0]
+		qs.levels = append(qs.levels, next)
+	}
+
+	// Attention sets (Algorithm 2 lines 20-21). Level 0 is excluded: the
+	// ℓ = 0 term of Eq. 7 is the trivial self-meeting.
+	qs.attByLevel = make([][]int32, len(qs.levels))
+	for l := 1; l < len(qs.levels); l++ {
+		lv := &qs.levels[l]
+		for i, hv := range lv.h {
+			if hv >= sp.p.epsH {
+				idx := int32(len(qs.att))
+				qs.att = append(qs.att, attNode{
+					level: int32(l),
+					node:  lv.nodes[i],
+					slot:  int32(i),
+					h:     hv,
+					gamma: 1,
+				})
+				lv.attIdx[i] = idx
+				qs.attByLevel[l] = append(qs.attByLevel[l], idx)
+			}
+		}
+	}
+}
+
+// detectMaxLevel samples n_w √c-walks from u and returns the deepest level
+// at which some node was visited at least countThld times (Algorithm 2
+// lines 1-8), capped at L*. In deterministic mode (n_w = 0) it returns L*
+// directly.
+func (sp *SimPush) detectMaxLevel(u int32) int {
+	if sp.p.nWalks == 0 {
+		return sp.p.lStar
+	}
+	sp.counter.Reset()
+	for i := 0; i < sp.p.nWalks; i++ {
+		v := u
+		for step := 1; step <= sp.p.lStar; step++ {
+			nv, ok := sp.walker.Next(v)
+			if !ok {
+				break
+			}
+			v = nv
+			sp.counter.Add(step, v)
+		}
+	}
+	L := 0
+	for l := 1; l < sp.counter.MaxLevels(); l++ {
+		if sp.counter.MaxCountAt(l) >= sp.p.countThld {
+			L = l
+		}
+	}
+	if L > sp.p.lStar {
+		L = sp.p.lStar
+	}
+	return L
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+)
+
+// Per-stage benchmarks: the complexity table (paper Table 3) splits
+// SimPush into Source-Push, γ computation, and Reverse-Push. These
+// benchmarks measure each stage on a mid-size web graph.
+
+func stageGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.CopyingModel(50000, 10, 0.3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkStageSourcePush(b *testing.B) {
+	g := stageGraph(b)
+	sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qs := &queryState{u: int32(i) % g.N()}
+		sp.sourcePush(qs)
+		sp.resetSlots(qs)
+	}
+}
+
+func BenchmarkStageGamma(b *testing.B) {
+	g := stageGraph(b)
+	sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qs := &queryState{u: int32(i) % g.N()}
+		sp.sourcePush(qs)
+		sp.computeHittingVecs(qs)
+		sp.ensureGammaScratch(len(qs.att))
+		for j := range qs.att {
+			qs.att[j].gamma = sp.computeGamma(qs, int32(j))
+		}
+		sp.resetSlots(qs)
+	}
+}
+
+func BenchmarkStageReversePush(b *testing.B) {
+	g := stageGraph(b)
+	sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1})
+	// Prepare one query state outside the timed loop.
+	qs := &queryState{u: 123}
+	sp.sourcePush(qs)
+	sp.computeHittingVecs(qs)
+	sp.ensureGammaScratch(len(qs.att))
+	for j := range qs.att {
+		qs.att[j].gamma = sp.computeGamma(qs, int32(j))
+	}
+	scores := make([]float64, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := range scores {
+			scores[v] = 0
+		}
+		sp.reversePush(qs, scores)
+	}
+	b.StopTimer()
+	sp.resetSlots(qs)
+}
+
+func BenchmarkLevelDetection(b *testing.B) {
+	g := stageGraph(b)
+	for _, mode := range []struct {
+		name string
+		m    LevelDetectMode
+	}{
+		{"chernoff", LevelDetectChernoff},
+		{"hoeffding", LevelDetectHoeffding},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sp := mustEngine(b, g, Options{Epsilon: 0.05, Seed: 1, LevelDetect: mode.m, MaxWalks: 3_000_000})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp.detectMaxLevel(int32(i) % g.N())
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/simrank/simpush/internal/core"
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/probesim"
+	"github.com/simrank/simpush/internal/prsim"
+	"github.com/simrank/simpush/internal/reads"
+	"github.com/simrank/simpush/internal/sling"
+	"github.com/simrank/simpush/internal/topsim"
+	"github.com/simrank/simpush/internal/tsf"
+)
+
+// simPushEngine adapts core.SimPush to the Engine interface.
+type simPushEngine struct {
+	sp *core.SimPush
+}
+
+// NewSimPush wraps a SimPush engine.
+func NewSimPush(g *graph.Graph, opt core.Options) (Engine, error) {
+	sp, err := core.New(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &simPushEngine{sp: sp}, nil
+}
+
+func (e *simPushEngine) Name() string { return "SimPush" }
+func (e *simPushEngine) Setting() string {
+	return fmt.Sprintf("eps=%g", e.sp.Options().Epsilon)
+}
+func (e *simPushEngine) Indexed() bool     { return false }
+func (e *simPushEngine) Build() error      { return nil }
+func (e *simPushEngine) IndexBytes() int64 { return e.sp.MemoryBytes() }
+func (e *simPushEngine) Query(u int32) ([]float64, error) {
+	res, err := e.sp.Query(u)
+	if err != nil {
+		return nil, err
+	}
+	return res.Scores, nil
+}
+
+// Unwrap exposes the underlying core engine for stage-level statistics.
+func (e *simPushEngine) Unwrap() *core.SimPush { return e.sp }
+
+// SimPushStats is implemented by engines that can report SimPush internals.
+type SimPushStats interface {
+	Unwrap() *core.SimPush
+}
+
+// Config describes one (method, parameter-setting) combination of the
+// paper's sweep (§5.1). Make binds it to a graph.
+type Config struct {
+	Method  string
+	Setting string
+	// Rank orders settings from coarsest (0) to finest (4), matching the
+	// "from right to left" curves in Figures 4-6.
+	Rank int
+	Make func(g *graph.Graph, seed uint64) (Engine, error)
+}
+
+// Caps bound resource use per configuration, mirroring the paper's
+// exclusion rules (out of memory / over time budget).
+type Caps struct {
+	MaxIndexBytes int64
+	// WalkCap bounds per-query walk samples of the sampling-based methods
+	// (0 = theoretical counts). It deliberately trades the δ guarantee for
+	// bounded experiment time, like the released implementations do.
+	WalkCap int
+}
+
+// SimPushEpsilons is the paper's SimPush sweep.
+var SimPushEpsilons = []float64{0.05, 0.02, 0.01, 0.005, 0.002}
+
+// AbsErrSweep is the ε_a sweep shared by PRSim, SLING and ProbeSim.
+var AbsErrSweep = []float64{0.5, 0.1, 0.05, 0.01, 0.005}
+
+// ReadsSweep is the (r, t) sweep of READS.
+var ReadsSweep = [][2]int{{10, 2}, {50, 5}, {100, 10}, {500, 10}, {1000, 20}}
+
+// TSFSweep is the (Rg, Rq) sweep of TSF.
+var TSFSweep = [][2]int{{10, 2}, {100, 20}, {200, 30}, {300, 40}, {600, 80}}
+
+// TopSimSweep is the (T, 1/h) sweep of TopSim (H=100, η=0.001 fixed).
+var TopSimSweep = [][2]int{{1, 10}, {3, 100}, {3, 1000}, {3, 10000}, {4, 10000}}
+
+// MethodNames lists all seven methods in the paper's legend order.
+var MethodNames = []string{"SimPush", "ProbeSim", "PRSim", "SLING", "READS", "TSF", "TopSim"}
+
+// Sweep returns the paper's five parameter settings for the given method.
+func Sweep(method string, caps Caps) ([]Config, error) {
+	var out []Config
+	switch method {
+	case "SimPush":
+		for i, eps := range SimPushEpsilons {
+			eps := eps
+			out = append(out, Config{
+				Method: "SimPush", Setting: fmt.Sprintf("eps=%g", eps), Rank: i,
+				Make: func(g *graph.Graph, seed uint64) (Engine, error) {
+					return NewSimPush(g, core.Options{Epsilon: eps, Seed: seed})
+				},
+			})
+		}
+	case "ProbeSim":
+		for i, eps := range AbsErrSweep {
+			eps := eps
+			out = append(out, Config{
+				Method: "ProbeSim", Setting: fmt.Sprintf("eps_a=%g", eps), Rank: i,
+				Make: func(g *graph.Graph, seed uint64) (Engine, error) {
+					return probesim.New(g, probesim.Params{EpsA: eps, Seed: seed, WalkCap: caps.WalkCap})
+				},
+			})
+		}
+	case "PRSim":
+		for i, eps := range AbsErrSweep {
+			eps := eps
+			out = append(out, Config{
+				Method: "PRSim", Setting: fmt.Sprintf("eps_a=%g", eps), Rank: i,
+				Make: func(g *graph.Graph, seed uint64) (Engine, error) {
+					return prsim.New(g, prsim.Params{EpsA: eps, Seed: seed,
+						WalkCap: caps.WalkCap, MaxIndexBytes: caps.MaxIndexBytes})
+				},
+			})
+		}
+	case "SLING":
+		for i, eps := range AbsErrSweep {
+			eps := eps
+			out = append(out, Config{
+				Method: "SLING", Setting: fmt.Sprintf("eps_a=%g", eps), Rank: i,
+				Make: func(g *graph.Graph, seed uint64) (Engine, error) {
+					return sling.New(g, sling.Params{EpsA: eps, Seed: seed,
+						MaxIndexBytes: caps.MaxIndexBytes})
+				},
+			})
+		}
+	case "READS":
+		for i, rt := range ReadsSweep {
+			r, t := rt[0], rt[1]
+			out = append(out, Config{
+				Method: "READS", Setting: fmt.Sprintf("r=%d,t=%d", r, t), Rank: i,
+				Make: func(g *graph.Graph, seed uint64) (Engine, error) {
+					return reads.New(g, reads.Params{R: r, T: t, Seed: seed,
+						MaxIndexBytes: caps.MaxIndexBytes})
+				},
+			})
+		}
+	case "TSF":
+		for i, rr := range TSFSweep {
+			rg, rq := rr[0], rr[1]
+			out = append(out, Config{
+				Method: "TSF", Setting: fmt.Sprintf("Rg=%d,Rq=%d", rg, rq), Rank: i,
+				Make: func(g *graph.Graph, seed uint64) (Engine, error) {
+					return tsf.New(g, tsf.Params{Rg: rg, Rq: rq, Seed: seed,
+						MaxIndexBytes: caps.MaxIndexBytes})
+				},
+			})
+		}
+	case "TopSim":
+		for i, th := range TopSimSweep {
+			t, invH := th[0], th[1]
+			out = append(out, Config{
+				Method: "TopSim", Setting: fmt.Sprintf("T=%d,1/h=%d", t, invH), Rank: i,
+				Make: func(g *graph.Graph, seed uint64) (Engine, error) {
+					return topsim.New(g, topsim.Params{T: t, InvH: int32(invH)})
+				},
+			})
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown method %q", method)
+	}
+	return out, nil
+}
+
+// AllSweeps returns the full 7-method × 5-setting grid.
+func AllSweeps(caps Caps) ([]Config, error) {
+	var out []Config
+	for _, m := range MethodNames {
+		cfgs, err := Sweep(m, caps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfgs...)
+	}
+	return out, nil
+}

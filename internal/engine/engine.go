@@ -1,0 +1,32 @@
+// Package engine defines the uniform interface that SimPush and all six
+// baseline algorithms implement, so the experiment harness can sweep over
+// methods and parameter settings generically.
+package engine
+
+import "github.com/simrank/simpush/internal/limits"
+
+// Engine is a single-source SimRank solver bound to one graph and one
+// parameter setting.
+//
+// Engines are not required to be safe for concurrent queries; the harness
+// serializes queries per engine (matching the paper's per-query timing).
+type Engine interface {
+	// Name identifies the algorithm, e.g. "SimPush" or "ProbeSim".
+	Name() string
+	// Setting is a short human-readable parameter label, e.g. "eps=0.02".
+	Setting() string
+	// Indexed reports whether Build performs real preprocessing.
+	Indexed() bool
+	// Build runs preprocessing. Index-free engines return nil immediately.
+	Build() error
+	// Query returns the estimated SimRank row s̃(u, ·).
+	Query(u int32) ([]float64, error)
+	// IndexBytes estimates the memory held by the index and persistent
+	// query scratch, excluding the input graph.
+	IndexBytes() int64
+}
+
+// ErrIndexTooLarge is returned by Build when an engine projects its index
+// to exceed the configured cap. The harness treats such settings exactly
+// like the paper treats out-of-memory configurations: it excludes them.
+type ErrIndexTooLarge = limits.ErrIndexTooLarge

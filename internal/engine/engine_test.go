@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/simrank/simpush/internal/core"
+	"github.com/simrank/simpush/internal/eval"
+	"github.com/simrank/simpush/internal/exact"
+	"github.com/simrank/simpush/internal/gen"
+)
+
+func TestSimPushAdapter(t *testing.T) {
+	g, err := gen.CopyingModel(200, 5, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSimPush(g, core.Options{Epsilon: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "SimPush" || e.Indexed() {
+		t.Fatal("adapter metadata")
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[5] != 1 {
+		t.Fatal("self score")
+	}
+	if _, ok := e.(SimPushStats); !ok {
+		t.Fatal("adapter does not expose internals")
+	}
+}
+
+func TestSweepsComplete(t *testing.T) {
+	cfgs, err := AllSweeps(Caps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 7*5 {
+		t.Fatalf("grid size = %d, want 35", len(cfgs))
+	}
+	seen := map[string]int{}
+	for _, c := range cfgs {
+		seen[c.Method]++
+		if c.Setting == "" {
+			t.Fatalf("empty setting for %s", c.Method)
+		}
+	}
+	for _, m := range MethodNames {
+		if seen[m] != 5 {
+			t.Fatalf("%s has %d settings", m, seen[m])
+		}
+	}
+	if _, err := Sweep("Nope", Caps{}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+// Every method at a mid-tier setting must beat a trivial baseline on a
+// small graph: AvgError well under the coarsest knob and all engines
+// runnable end to end through the common interface.
+func TestAllEnginesEndToEnd(t *testing.T) {
+	g, err := gen.CopyingModel(150, 5, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.AllPairs(g, exact.Options{C: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := int32(10)
+	row := ex.Row(u)
+	cfgs, err := AllSweeps(Caps{WalkCap: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		if cfg.Rank != 2 { // mid setting per method
+			continue
+		}
+		e, err := cfg.Make(g, 99)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", cfg.Method, cfg.Setting, err)
+		}
+		if err := e.Build(); err != nil {
+			t.Fatalf("%s/%s build: %v", cfg.Method, cfg.Setting, err)
+		}
+		s, err := e.Query(u)
+		if err != nil {
+			t.Fatalf("%s/%s query: %v", cfg.Method, cfg.Setting, err)
+		}
+		var sum float64
+		for v := int32(0); v < g.N(); v++ {
+			if v != u {
+				sum += math.Abs(row[v] - s[v])
+			}
+		}
+		avg := sum / float64(g.N()-1)
+		if avg > 0.1 {
+			t.Errorf("%s/%s: avg error %v", cfg.Method, cfg.Setting, avg)
+		}
+		if e.IndexBytes() < 0 {
+			t.Errorf("%s/%s: negative index size", cfg.Method, cfg.Setting)
+		}
+	}
+}
+
+func TestIndexCapPropagates(t *testing.T) {
+	g, err := gen.CopyingModel(2000, 8, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := Sweep("READS", Caps{MaxIndexBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := cfgs[4].Make(g, 1) // (1000, 20): way over 1 KiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Build()
+	var tooBig *ErrIndexTooLarge
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("cap not propagated: %v", err)
+	}
+	if tooBig.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+// All seven methods at their finest settings must largely agree on the
+// top-10 of a small graph — a cross-implementation consistency check that
+// catches systematic ranking bugs no single-method test would.
+func TestCrossMethodTopKConsensus(t *testing.T) {
+	g, err := gen.CopyingModel(400, 6, 0.3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.AllPairs(g, exact.Options{C: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const u = int32(33)
+	trueTop := eval.TopK(ex.Row(u), 10, u)
+	trueSet := map[int32]bool{}
+	for _, v := range trueTop {
+		trueSet[v] = true
+	}
+	cfgs, err := AllSweeps(Caps{WalkCap: 300000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		if cfg.Rank != 4 { // finest setting per method
+			continue
+		}
+		eng, err := cfg.Make(g, 17)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Method, err)
+		}
+		if err := eng.Build(); err != nil {
+			t.Fatalf("%s build: %v", cfg.Method, err)
+		}
+		s, err := eng.Query(u)
+		if err != nil {
+			t.Fatalf("%s query: %v", cfg.Method, err)
+		}
+		got := eval.TopK(s, 10, u)
+		hits := 0
+		for _, v := range got {
+			if trueSet[v] {
+				hits++
+			}
+		}
+		// TSF/TopSim are known-biased; require weaker agreement there.
+		minHits := 7
+		if cfg.Method == "TSF" || cfg.Method == "TopSim" || cfg.Method == "READS" {
+			minHits = 5
+		}
+		if hits < minHits {
+			t.Errorf("%s finest setting: only %d/10 of the true top-10", cfg.Method, hits)
+		}
+	}
+}

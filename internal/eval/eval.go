@@ -1,0 +1,140 @@
+// Package eval implements the evaluation protocol of the SimPush paper
+// (§5.1): AvgError@k and Precision@k against pooled Monte-Carlo ground
+// truth, plus top-k extraction and memory accounting.
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/mc"
+)
+
+// TopK returns the k nodes with the highest scores, excluding `exclude`
+// (normally the query node, whose similarity is trivially 1). Ties break
+// by node id for determinism. If fewer than k nonzero candidates exist,
+// zero-score nodes fill the tail (still excluding `exclude`).
+func TopK(scores []float64, k int, exclude int32) []int32 {
+	type cand struct {
+		v int32
+		s float64
+	}
+	cands := make([]cand, 0, len(scores))
+	for v, s := range scores {
+		if int32(v) == exclude {
+			continue
+		}
+		cands = append(cands, cand{int32(v), s})
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].s != cands[b].s {
+			return cands[a].s > cands[b].s
+		}
+		return cands[a].v < cands[b].v
+	})
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].v
+	}
+	return out
+}
+
+// GroundTruth holds pooled ground-truth values for one query node.
+type GroundTruth struct {
+	U     int32
+	TopK  []int32           // V_k: the true top-k nodes (by pooled MC value)
+	Value map[int32]float64 // s(u, v) for every pooled node
+}
+
+// BuildPooledTruth implements the paper's pooling protocol: merge the
+// top-k nodes returned by every method, deduplicate, estimate s(u, v) for
+// each pooled node by Monte Carlo with `samples` walk pairs, and declare
+// the k pool nodes with the highest estimates the true top-k set V_k.
+func BuildPooledTruth(g *graph.Graph, c float64, u int32, methodScores [][]float64, k, samples int, seed uint64) *GroundTruth {
+	poolSet := map[int32]struct{}{}
+	for _, scores := range methodScores {
+		for _, v := range TopK(scores, k, u) {
+			poolSet[v] = struct{}{}
+		}
+	}
+	pool := make([]int32, 0, len(poolSet))
+	for v := range poolSet {
+		pool = append(pool, v)
+	}
+	sort.Slice(pool, func(a, b int) bool { return pool[a] < pool[b] })
+
+	est := mc.New(g, c)
+	vals := est.Pairs(u, pool, samples, seed)
+	gt := &GroundTruth{U: u, Value: make(map[int32]float64, len(pool))}
+	for i, v := range pool {
+		gt.Value[v] = vals[i]
+	}
+	idx := make([]int, len(pool))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if vals[idx[a]] != vals[idx[b]] {
+			return vals[idx[a]] > vals[idx[b]]
+		}
+		return pool[idx[a]] < pool[idx[b]]
+	})
+	kk := k
+	if kk > len(pool) {
+		kk = len(pool)
+	}
+	gt.TopK = make([]int32, kk)
+	for i := 0; i < kk; i++ {
+		gt.TopK[i] = pool[idx[i]]
+	}
+	return gt
+}
+
+// ExactTruth builds ground truth from an exact single-source row (used on
+// small graphs where the power method is feasible).
+func ExactTruth(u int32, row []float64, k int) *GroundTruth {
+	gt := &GroundTruth{U: u, Value: make(map[int32]float64, len(row))}
+	for v, s := range row {
+		gt.Value[int32(v)] = s
+	}
+	gt.TopK = TopK(row, k, u)
+	return gt
+}
+
+// AvgErrorAtK is the paper's AvgError@k: the mean absolute estimation error
+// over the true top-k nodes V_k.
+func AvgErrorAtK(gt *GroundTruth, scores []float64) float64 {
+	if len(gt.TopK) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range gt.TopK {
+		sum += math.Abs(scores[v] - gt.Value[v])
+	}
+	return sum / float64(len(gt.TopK))
+}
+
+// PrecisionAtK is the paper's Precision@k: |V_k ∩ V'_k| / k, where V'_k is
+// the evaluated method's top-k.
+func PrecisionAtK(gt *GroundTruth, scores []float64) float64 {
+	k := len(gt.TopK)
+	if k == 0 {
+		return 1
+	}
+	mine := TopK(scores, k, gt.U)
+	inTrue := make(map[int32]struct{}, k)
+	for _, v := range gt.TopK {
+		inTrue[v] = struct{}{}
+	}
+	hits := 0
+	for _, v := range mine {
+		if _, ok := inTrue[v]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}

@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/simrank/simpush/internal/exact"
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+)
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.9, 0.2}
+	got := TopK(scores, 3, -1)
+	want := []int32{1, 3, 2} // ties by id
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopKExcludes(t *testing.T) {
+	scores := []float64{1, 0.5, 0.4}
+	got := TopK(scores, 2, 0)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("TopK with exclusion = %v", got)
+	}
+}
+
+func TestTopKShort(t *testing.T) {
+	scores := []float64{0.3, 0.1}
+	got := TopK(scores, 10, 1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("TopK on short input = %v", got)
+	}
+}
+
+func TestAvgErrorAtK(t *testing.T) {
+	gt := &GroundTruth{
+		U:     0,
+		TopK:  []int32{1, 2},
+		Value: map[int32]float64{1: 0.5, 2: 0.3},
+	}
+	scores := []float64{1, 0.45, 0.35}
+	got := AvgErrorAtK(gt, scores)
+	if math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("AvgError = %v, want 0.05", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	gt := &GroundTruth{
+		U:     0,
+		TopK:  []int32{1, 2, 3},
+		Value: map[int32]float64{1: 0.5, 2: 0.3, 3: 0.2},
+	}
+	scores := []float64{1, 0.9, 0.8, 0.0, 0.7} // top-3 excluding 0: {1,2,4}
+	got := PrecisionAtK(gt, scores)
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("Precision = %v, want 2/3", got)
+	}
+}
+
+func TestEmptyGroundTruth(t *testing.T) {
+	gt := &GroundTruth{U: 0}
+	if AvgErrorAtK(gt, []float64{1}) != 0 {
+		t.Fatal("empty AvgError")
+	}
+	if PrecisionAtK(gt, []float64{1}) != 1 {
+		t.Fatal("empty Precision")
+	}
+}
+
+// Pooled MC ground truth must agree with the exact oracle on a small graph.
+func TestBuildPooledTruthMatchesExact(t *testing.T) {
+	g, err := gen.CopyingModel(80, 4, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = 0.6
+	ex, err := exact.AllPairs(g, exact.Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := int32(5)
+	row := ex.Row(u)
+	// Use the exact row itself as the single "method" feeding the pool.
+	gt := BuildPooledTruth(g, c, u, [][]float64{row}, 10, 80000, 7)
+	if len(gt.TopK) == 0 {
+		t.Fatal("empty pool")
+	}
+	for _, v := range gt.TopK {
+		if math.Abs(gt.Value[v]-row[v]) > 0.02 {
+			t.Fatalf("pooled MC value for %d = %v, exact %v", v, gt.Value[v], row[v])
+		}
+	}
+	// Exact truth variant
+	egt := ExactTruth(u, row, 10)
+	if len(egt.TopK) != 10 {
+		t.Fatalf("exact truth topk = %d", len(egt.TopK))
+	}
+	if AvgErrorAtK(egt, row) != 0 {
+		t.Fatal("exact scores vs exact truth should have zero error")
+	}
+	if PrecisionAtK(egt, row) != 1 {
+		t.Fatal("exact scores vs exact truth should have precision 1")
+	}
+}
+
+func TestPoolMergesMethods(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2}, [2]int32{0, 3})
+	// Two fake methods that disagree on top nodes.
+	m1 := []float64{1, 0.9, 0, 0}
+	m2 := []float64{1, 0, 0.9, 0}
+	gt := BuildPooledTruth(g, 0.6, 0, [][]float64{m1, m2}, 1, 1000, 1)
+	if len(gt.Value) < 2 {
+		t.Fatalf("pool did not merge methods: %v", gt.Value)
+	}
+}
+
+func TestMemoryUsage(t *testing.T) {
+	m := MemoryUsage{GraphBytes: 10, IndexBytes: 20, HeapBytes: 30}
+	if m.Total() != 60 {
+		t.Fatal("total wrong")
+	}
+	if LiveHeap() <= 0 {
+		t.Fatal("live heap not measured")
+	}
+}
+
+// Property: TopK returns exactly min(k, n-1) nodes, sorted by descending
+// score, never containing the excluded node.
+func TestQuickTopK(t *testing.T) {
+	f := func(raw []float64, kRaw uint8, exclRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			// map arbitrary floats into a sane score range
+			scores[i] = math.Abs(math.Mod(v, 1))
+			if math.IsNaN(scores[i]) {
+				scores[i] = 0
+			}
+		}
+		k := int(kRaw%16) + 1
+		excl := int32(int(exclRaw) % len(scores))
+		got := TopK(scores, k, excl)
+		want := len(scores) - 1
+		if want > k {
+			want = k
+		}
+		if len(got) != want {
+			return false
+		}
+		prev := math.Inf(1)
+		for _, v := range got {
+			if v == excl {
+				return false
+			}
+			if scores[v] > prev {
+				return false
+			}
+			prev = scores[v]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: precision is 1 when a method returns the exact truth ranking
+// and decreases monotonically as the top of the ranking is corrupted.
+func TestPrecisionCorruption(t *testing.T) {
+	scores := make([]float64, 50)
+	for i := range scores {
+		scores[i] = float64(50-i) / 50
+	}
+	gt := ExactTruth(0, scores, 10)
+	if PrecisionAtK(gt, scores) != 1 {
+		t.Fatal("self precision")
+	}
+	corrupted := append([]float64(nil), scores...)
+	for i := 1; i <= 5; i++ {
+		corrupted[i] = 0 // drop 5 of the true top-10 out of the ranking
+	}
+	p := PrecisionAtK(gt, corrupted)
+	if p != 0.5 {
+		t.Fatalf("precision after corruption = %v, want 0.5", p)
+	}
+}

@@ -1,0 +1,29 @@
+package eval
+
+import "runtime"
+
+// MemoryUsage describes the memory attributed to one (method, setting,
+// dataset) combination in the Figure 6/7 reproduction: the input graph,
+// the method's index plus persistent scratch, and the process heap
+// observed around the run.
+type MemoryUsage struct {
+	GraphBytes int64
+	IndexBytes int64
+	HeapBytes  int64 // live heap after the run (post-GC)
+}
+
+// Total is the peak-memory figure the harness reports: graph + index +
+// per-query transient heap. It approximates the paper's
+// rusage.ru_maxrss measurement at library granularity (Go's GC makes RSS
+// itself an unstable measurement for per-configuration attribution).
+func (m MemoryUsage) Total() int64 {
+	return m.GraphBytes + m.IndexBytes + m.HeapBytes
+}
+
+// LiveHeap runs a GC and returns the current live-heap size.
+func LiveHeap() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}

@@ -1,0 +1,224 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+)
+
+const c = 0.6
+
+func TestDiagonalIsOne(t *testing.T) {
+	g, err := gen.ErdosRenyi(50, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := AllPairs(g, Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < g.N(); v++ {
+		if r.At(v, v) != 1 {
+			t.Fatalf("s(%d,%d) = %v", v, v, r.At(v, v))
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	g, err := gen.ErdosRenyi(40, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := AllPairs(g, Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < g.N(); u++ {
+		for v := int32(0); v < g.N(); v++ {
+			if math.Abs(r.At(u, v)-r.At(v, u)) > 1e-12 {
+				t.Fatalf("s(%d,%d)=%v != s(%d,%d)=%v", u, v, r.At(u, v), v, u, r.At(v, u))
+			}
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	g, err := gen.CopyingModel(100, 4, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := AllPairs(g, Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < g.N(); u++ {
+		for v := int32(0); v < g.N(); v++ {
+			s := r.At(u, v)
+			if s < 0 || s > 1+1e-12 {
+				t.Fatalf("s(%d,%d) = %v out of range", u, v, s)
+			}
+		}
+	}
+}
+
+// On the directed cycle, distinct nodes never meet: s(u,v) = 0.
+func TestCycleZero(t *testing.T) {
+	g := gen.Cycle(8)
+	r, err := AllPairs(g, Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < 8; u++ {
+		for v := int32(0); v < 8; v++ {
+			if u != v && r.At(u, v) != 0 {
+				t.Fatalf("cycle s(%d,%d) = %v, want 0", u, v, r.At(u, v))
+			}
+		}
+	}
+}
+
+// Two children of a shared parent: s(1,2) = c (walks meet at parent with
+// probability c at step 1; from the parent the walks coincide forever, so
+// no further terms).
+func TestSharedParent(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
+	r, err := AllPairs(g, Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.At(1, 2)-c) > 1e-9 {
+		t.Fatalf("s(1,2) = %v, want %v", r.At(1, 2), c)
+	}
+	// The parent has no in-neighbors: s(0, 1) = 0.
+	if r.At(0, 1) != 0 {
+		t.Fatalf("s(0,1) = %v, want 0", r.At(0, 1))
+	}
+}
+
+// Three children of a shared parent: same argument, s(i,j) = c for i != j.
+func TestThreeSiblings(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2}, [2]int32{0, 3})
+	r, err := AllPairs(g, Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int32{{1, 2}, {1, 3}, {2, 3}} {
+		if math.Abs(r.At(pair[0], pair[1])-c) > 1e-9 {
+			t.Fatalf("s(%v) = %v, want %v", pair, r.At(pair[0], pair[1]), c)
+		}
+	}
+}
+
+// Hand-derivable chain: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 4.
+// s(3,4): I(3)={1}, I(4)={2}; s(3,4) = c·s(1,2) = c·c = c².
+func TestTwoHopChain(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2}, [2]int32{1, 3}, [2]int32{2, 4})
+	r, err := AllPairs(g, Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.At(3, 4)-c*c) > 1e-9 {
+		t.Fatalf("s(3,4) = %v, want %v", r.At(3, 4), c*c)
+	}
+}
+
+// Fixed-point verification: the converged matrix must satisfy the SimRank
+// recurrence on every off-diagonal pair.
+func TestFixedPoint(t *testing.T) {
+	g, err := gen.CopyingModel(60, 3, 0.4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := AllPairs(g, Options{C: c, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	for u := int32(0); u < n; u++ {
+		for v := int32(0); v < n; v++ {
+			if u == v {
+				continue
+			}
+			inU, inV := g.In(u), g.In(v)
+			want := 0.0
+			if len(inU) > 0 && len(inV) > 0 {
+				var sum float64
+				for _, a := range inU {
+					for _, b := range inV {
+						sum += r.At(a, b)
+					}
+				}
+				want = c * sum / (float64(len(inU)) * float64(len(inV)))
+			}
+			if math.Abs(r.At(u, v)-want) > 1e-9 {
+				t.Fatalf("recurrence violated at (%d,%d): have %v want %v", u, v, r.At(u, v), want)
+			}
+		}
+	}
+}
+
+func TestRowMatchesAt(t *testing.T) {
+	g, err := gen.ErdosRenyi(30, 120, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := AllPairs(g, Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Row(7)
+	for v := int32(0); v < g.N(); v++ {
+		if row[v] != r.At(7, v) {
+			t.Fatal("Row/At mismatch")
+		}
+	}
+}
+
+func TestSingleSource(t *testing.T) {
+	g := gen.Star(5)
+	row, err := SingleSource(g, 0, Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 1 {
+		t.Fatal("self similarity != 1")
+	}
+	if _, err := SingleSource(g, 99, Options{C: c}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestSizeGuard(t *testing.T) {
+	g, err := gen.ErdosRenyi(100, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllPairs(g, Options{C: c, MaxNodes: 50}); err == nil {
+		t.Fatal("size guard did not trip")
+	}
+}
+
+func TestBadC(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := AllPairs(g, Options{C: 1.5}); err == nil {
+		t.Fatal("c=1.5 accepted")
+	}
+	if _, err := AllPairs(g, Options{C: -0.2}); err == nil {
+		t.Fatal("c=-0.2 accepted")
+	}
+}
+
+func BenchmarkAllPairs200(b *testing.B) {
+	g, err := gen.CopyingModel(200, 5, 0.3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AllPairs(g, Options{C: c}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package gen
+
+import (
+	"fmt"
+
+	"github.com/simrank/simpush/internal/graph"
+)
+
+// Dataset describes one of the nine synthetic stand-ins for the paper's
+// Table 4 datasets. Scale 1.0 reproduces the default roster below; smaller
+// scales shrink n proportionally (never below 1000 nodes) so tests and
+// quick bench runs stay fast.
+type Dataset struct {
+	Name     string // stand-in name, e.g. "in2004-sim"
+	PaperRef string // the real dataset it substitutes
+	Kind     string // generator family
+	N        int32  // node count at scale 1.0
+	Directed bool
+	Build    func(n int32, seed uint64) (*graph.Graph, error)
+}
+
+// Roster is the ordered list of the nine dataset stand-ins, mirroring
+// Table 4 of the paper (same order, same directedness, matched m/n ratio
+// and degree-distribution family, reduced scale).
+var Roster = []Dataset{
+	{
+		Name: "in2004-sim", PaperRef: "In-2004 (web, 1.4M/16.5M)", Kind: "copying",
+		N: 40000, Directed: true,
+		Build: func(n int32, seed uint64) (*graph.Graph, error) {
+			return CopyingModel(n, 12, 0.35, seed) // avg deg ~12 like In-2004
+		},
+	},
+	{
+		Name: "dblp-sim", PaperRef: "DBLP (collab, 5.4M/17.3M, undirected)", Kind: "ba",
+		N: 60000, Directed: false,
+		Build: func(n int32, seed uint64) (*graph.Graph, error) {
+			return BarabasiAlbert(n, 2, seed) // m/n ~ 3.2 like DBLP
+		},
+	},
+	{
+		Name: "pokec-sim", PaperRef: "Pokec (social, 1.6M/30.6M)", Kind: "sbm",
+		N: 40000, Directed: true,
+		Build: func(n int32, seed uint64) (*graph.Graph, error) {
+			return SBM(n, 40, 14, 5, seed) // avg deg ~18.8 like Pokec
+		},
+	},
+	{
+		Name: "livejournal-sim", PaperRef: "LiveJournal (social, 4.8M/68.5M)", Kind: "forestfire",
+		N: 60000, Directed: true,
+		Build: func(n int32, seed uint64) (*graph.Graph, error) {
+			return ForestFire(n, 0.48, seed) // avg deg ~14 like LiveJournal
+		},
+	},
+	{
+		Name: "it2004-sim", PaperRef: "IT-2004 (web, 41.3M/1.14B)", Kind: "copying",
+		N: 120000, Directed: true,
+		Build: func(n int32, seed uint64) (*graph.Graph, error) {
+			return CopyingModel(n, 27, 0.3, seed) // avg deg ~27.5 like IT-2004
+		},
+	},
+	{
+		Name: "twitter-sim", PaperRef: "Twitter (social, 41.7M/1.47B)", Kind: "pa",
+		N: 100000, Directed: true,
+		Build: func(n int32, seed uint64) (*graph.Graph, error) {
+			// High preferential-attachment bias: heavy in-degree tail and
+			// dense celebrity neighborhoods, the structure PRSim [33] calls
+			// "hard" for SimRank.
+			return PreferentialAttachment(n, 35, 0.85, seed)
+		},
+	},
+	{
+		Name: "friendster-sim", PaperRef: "Friendster (social, 65.6M/3.6B, undirected)", Kind: "ba",
+		N: 120000, Directed: false,
+		Build: func(n int32, seed uint64) (*graph.Graph, error) {
+			return BarabasiAlbert(n, 27, seed) // avg (directed) deg ~55 like Friendster
+		},
+	},
+	{
+		Name: "uk-sim", PaperRef: "UK (web, 133.6M/5.48B)", Kind: "copying",
+		N: 200000, Directed: true,
+		Build: func(n int32, seed uint64) (*graph.Graph, error) {
+			return CopyingModel(n, 40, 0.25, seed) // avg deg ~41 like UK
+		},
+	},
+	{
+		Name: "clueweb-sim", PaperRef: "ClueWeb (web, 1.68B/7.94B)", Kind: "copying",
+		N: 400000, Directed: true,
+		Build: func(n int32, seed uint64) (*graph.Graph, error) {
+			return CopyingModel(n, 5, 0.3, seed) // very sparse: avg deg ~4.7 like ClueWeb
+		},
+	},
+}
+
+// ByName returns the roster entry with the given name.
+func ByName(name string) (Dataset, error) {
+	for _, d := range Roster {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
+// Generate builds the dataset at the given scale with a fixed per-dataset
+// seed (stable across runs, distinct across datasets).
+func (d Dataset) Generate(scale float64) (*graph.Graph, error) {
+	n := int32(float64(d.N) * scale)
+	if n < 1000 {
+		n = 1000
+	}
+	seed := uint64(0x5157_0000)
+	for _, c := range d.Name {
+		seed = seed*131 + uint64(c)
+	}
+	return d.Build(n, seed)
+}
+
+// SmallEight returns the first eight datasets (the paper's Figures 4-6
+// cover all but ClueWeb, which Figure 7 treats separately).
+func SmallEight() []Dataset {
+	return Roster[:8]
+}

@@ -1,0 +1,411 @@
+// Package gen generates the synthetic graphs used as stand-ins for the
+// paper's nine real datasets (Table 4), plus toy graphs for unit tests.
+//
+// The paper evaluates on real web graphs (In-2004, IT-2004, UK, ClueWeb),
+// social networks (Pokec, LiveJournal, Twitter, Friendster) and a
+// collaboration network (DBLP). Those corpora are not redistributable at
+// laptop scale, so each generator below reproduces the structural property
+// that drives SimRank algorithm behaviour on its family:
+//
+//   - CopyingModel: Kumar et al.'s linear-growth copying model; yields
+//     power-law in-degrees and the link-locality of web graphs.
+//   - PreferentialAttachment: directed Barabási–Albert-style growth for
+//     follower networks (Twitter-like heavy in-degree tails).
+//   - BarabasiAlbert: undirected preferential attachment (DBLP/Friendster
+//     style collaboration/friendship networks; symmetrized at build time).
+//   - SBM: stochastic block model with community structure (Pokec-like).
+//   - ForestFire: Leskovec et al.'s forest-fire model; produces the dense
+//     local community structure that makes Twitter "hard" per PRSim [33].
+//   - ErdosRenyi: G(n, m) baseline without degree skew.
+//
+// All generators are deterministic in (parameters, seed).
+package gen
+
+import (
+	"fmt"
+
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/rnd"
+)
+
+// ErdosRenyi samples a directed multigraph-free G(n, m): m distinct directed
+// edges chosen uniformly at random, no self loops.
+func ErdosRenyi(n int32, m int64, seed uint64) (*graph.Graph, error) {
+	if n <= 1 {
+		return nil, fmt.Errorf("gen: ErdosRenyi needs n > 1, got %d", n)
+	}
+	maxM := int64(n) * int64(n-1)
+	if m > maxM {
+		return nil, fmt.Errorf("gen: ErdosRenyi m=%d exceeds n(n-1)=%d", m, maxM)
+	}
+	r := rnd.New(seed)
+	b := graph.NewBuilder(graph.BuildOptions{})
+	b.SetN(n)
+	b.Grow(int(m))
+	seen := make(map[int64]struct{}, m)
+	for int64(len(seen)) < m {
+		f := r.Int31n(n)
+		t := r.Int31n(n)
+		if f == t {
+			continue
+		}
+		key := int64(f)*int64(n) + int64(t)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(f, t)
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert grows an undirected preferential-attachment graph: each new
+// node attaches to k existing nodes chosen proportionally to degree.
+// The result is symmetrized (each undirected edge becomes two directed ones).
+func BarabasiAlbert(n int32, k int, seed uint64) (*graph.Graph, error) {
+	if n < 2 || k < 1 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs n >= 2, k >= 1 (got n=%d k=%d)", n, k)
+	}
+	r := rnd.New(seed)
+	b := graph.NewBuilder(graph.BuildOptions{Undirected: true, Dedup: true, DropSelfLoops: true})
+	b.SetN(n)
+	// endpoint multiset for degree-proportional sampling
+	endpoints := make([]int32, 0, 2*int(n)*k)
+	// seed clique of k+1 nodes
+	m0 := int32(k + 1)
+	if m0 > n {
+		m0 = n
+	}
+	for i := int32(0); i < m0; i++ {
+		for j := i + 1; j < m0; j++ {
+			b.AddEdge(i, j)
+			endpoints = append(endpoints, i, j)
+		}
+	}
+	for v := m0; v < n; v++ {
+		for e := 0; e < k; e++ {
+			var target int32
+			if len(endpoints) == 0 {
+				target = r.Int31n(v)
+			} else {
+				target = endpoints[r.Intn(len(endpoints))]
+			}
+			if target == v {
+				target = r.Int31n(v)
+			}
+			b.AddEdge(v, target)
+			endpoints = append(endpoints, v, target)
+		}
+	}
+	return b.Build()
+}
+
+// PreferentialAttachment grows a directed follower-style graph: each new
+// node emits k edges; with probability pPref the target is chosen
+// proportionally to in-degree (rich-get-richer), otherwise uniformly.
+func PreferentialAttachment(n int32, k int, pPref float64, seed uint64) (*graph.Graph, error) {
+	if n < 2 || k < 1 {
+		return nil, fmt.Errorf("gen: PreferentialAttachment needs n >= 2, k >= 1")
+	}
+	r := rnd.New(seed)
+	b := graph.NewBuilder(graph.BuildOptions{DropSelfLoops: true, Dedup: true})
+	b.SetN(n)
+	b.Grow(int(n) * k)
+	targets := make([]int32, 0, int(n)*k)
+	b.AddEdge(1, 0)
+	targets = append(targets, 0)
+	for v := int32(2); v < n; v++ {
+		for e := 0; e < k; e++ {
+			var t int32
+			if len(targets) > 0 && r.Bernoulli(pPref) {
+				t = targets[r.Intn(len(targets))]
+			} else {
+				t = r.Int31n(v)
+			}
+			if t == v {
+				continue
+			}
+			b.AddEdge(v, t)
+			targets = append(targets, t)
+		}
+	}
+	return b.Build()
+}
+
+// CopyingModel implements the Kumar et al. linear-growth copying model for
+// web graphs. Each new node v picks a random prototype p among earlier
+// nodes; each of v's k out-links copies the corresponding out-link of p
+// with probability 1-beta, and links to a uniform random earlier node with
+// probability beta. In-degrees follow a power law with exponent ~(2-beta)/(1-beta).
+func CopyingModel(n int32, k int, beta float64, seed uint64) (*graph.Graph, error) {
+	if n < 2 || k < 1 {
+		return nil, fmt.Errorf("gen: CopyingModel needs n >= 2, k >= 1")
+	}
+	if beta <= 0 || beta >= 1 {
+		return nil, fmt.Errorf("gen: CopyingModel beta must be in (0,1), got %v", beta)
+	}
+	r := rnd.New(seed)
+	b := graph.NewBuilder(graph.BuildOptions{DropSelfLoops: true, Dedup: true})
+	b.SetN(n)
+	b.Grow(int(n) * k)
+	// outLinks[v] holds v's chosen out-targets for prototype copying.
+	outLinks := make([][]int32, n)
+	outLinks[0] = nil
+	for v := int32(1); v < n; v++ {
+		proto := r.Int31n(v)
+		links := make([]int32, 0, k)
+		for e := 0; e < k; e++ {
+			var t int32
+			if !r.Bernoulli(beta) && e < len(outLinks[proto]) {
+				t = outLinks[proto][e]
+			} else {
+				t = r.Int31n(v)
+			}
+			if t == v {
+				continue
+			}
+			links = append(links, t)
+			b.AddEdge(v, t)
+		}
+		outLinks[v] = links
+	}
+	return b.Build()
+}
+
+// SBM samples a stochastic block model with `blocks` equal-size communities.
+// Expected within-community out-degree is kIn and cross-community out-degree
+// is kOut per node; edges are directed.
+func SBM(n int32, blocks int32, kIn, kOut float64, seed uint64) (*graph.Graph, error) {
+	if n < 2 || blocks < 1 || blocks > n {
+		return nil, fmt.Errorf("gen: SBM needs 1 <= blocks <= n")
+	}
+	r := rnd.New(seed)
+	b := graph.NewBuilder(graph.BuildOptions{DropSelfLoops: true, Dedup: true})
+	b.SetN(n)
+	blockSize := n / blocks
+	if blockSize == 0 {
+		blockSize = 1
+	}
+	for v := int32(0); v < n; v++ {
+		bv := v / blockSize
+		if bv >= blocks {
+			bv = blocks - 1
+		}
+		lo := bv * blockSize
+		hi := lo + blockSize
+		if bv == blocks-1 {
+			hi = n
+		}
+		// Within-community edges: Poisson-ish via fixed count with jitter.
+		din := int(kIn)
+		if r.Float64() < kIn-float64(din) {
+			din++
+		}
+		for e := 0; e < din && hi-lo > 1; e++ {
+			t := lo + r.Int31n(hi-lo)
+			if t != v {
+				b.AddEdge(v, t)
+			}
+		}
+		dout := int(kOut)
+		if r.Float64() < kOut-float64(dout) {
+			dout++
+		}
+		for e := 0; e < dout; e++ {
+			t := r.Int31n(n)
+			if t/blockSize != bv && t != v {
+				b.AddEdge(v, t)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ForestFire implements Leskovec et al.'s forest-fire model with forward
+// and backward burning. Each new node picks an ambassador and "burns"
+// through its neighborhood — following out-links with geometric(pFwd)
+// fan-out and in-links with geometric(0.6·pFwd) fan-out — then links to
+// every burned node. Larger pFwd yields denser, more clustered graphs
+// with the community structure of social networks.
+func ForestFire(n int32, pFwd float64, seed uint64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: ForestFire needs n >= 2")
+	}
+	if pFwd <= 0 || pFwd >= 1 {
+		return nil, fmt.Errorf("gen: ForestFire pFwd must be in (0,1)")
+	}
+	r := rnd.New(seed)
+	b := graph.NewBuilder(graph.BuildOptions{DropSelfLoops: true, Dedup: true})
+	b.SetN(n)
+	// Out- and in-adjacency mirrors for burning through settled nodes.
+	adj := make([][]int32, n)
+	radj := make([][]int32, n)
+	b.AddEdge(1, 0)
+	adj[1] = []int32{0}
+	radj[0] = []int32{1}
+	visited := make([]int32, n) // visit stamp per node
+	stamp := int32(0)
+	pBwd := 0.6 * pFwd
+	const maxBurn = 200 // cap burn size to keep generation near-linear
+	// spread follows a geometric(p) number of unvisited neighbors of x.
+	spread := func(links []int32, p float64, stamp int32, queue []int32) []int32 {
+		nf := 0
+		for r.Bernoulli(p) {
+			nf++
+		}
+		for i := 0; i < nf && len(links) > 0; i++ {
+			t := links[r.Intn(len(links))]
+			if visited[t] != stamp {
+				visited[t] = stamp
+				queue = append(queue, t)
+			}
+		}
+		return queue
+	}
+	for v := int32(2); v < n; v++ {
+		stamp++
+		amb := r.Int31n(v)
+		queue := []int32{amb}
+		visited[amb] = stamp
+		burned := []int32{}
+		for len(queue) > 0 && len(burned) < maxBurn {
+			x := queue[0]
+			queue = queue[1:]
+			burned = append(burned, x)
+			queue = spread(adj[x], pFwd, stamp, queue)
+			queue = spread(radj[x], pBwd, stamp, queue)
+		}
+		links := make([]int32, 0, len(burned))
+		for _, t := range burned {
+			b.AddEdge(v, t)
+			links = append(links, t)
+			radj[t] = append(radj[t], v)
+		}
+		adj[v] = links
+	}
+	return b.Build()
+}
+
+// --- Toy graphs for tests and examples ---
+
+// Cycle returns the directed n-cycle 0->1->...->n-1->0.
+func Cycle(n int32) *graph.Graph {
+	b := graph.NewBuilder(graph.BuildOptions{})
+	b.SetN(n)
+	for v := int32(0); v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Star returns a directed star with leaves 1..n-1 pointing at hub 0.
+func Star(n int32) *graph.Graph {
+	b := graph.NewBuilder(graph.BuildOptions{})
+	b.SetN(n)
+	for v := int32(1); v < n; v++ {
+		b.AddEdge(v, 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Complete returns the complete directed graph on n nodes (no self loops).
+func Complete(n int32) *graph.Graph {
+	b := graph.NewBuilder(graph.BuildOptions{})
+	b.SetN(n)
+	for v := int32(0); v < n; v++ {
+		for w := int32(0); w < n; w++ {
+			if v != w {
+				b.AddEdge(v, w)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Path returns the directed path 0->1->...->n-1.
+func Path(n int32) *graph.Graph {
+	b := graph.NewBuilder(graph.BuildOptions{})
+	b.SetN(n)
+	for v := int32(0); v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Grid returns a directed rows x cols grid with edges right and down.
+func Grid(rows, cols int32) *graph.Graph {
+	b := graph.NewBuilder(graph.BuildOptions{})
+	b.SetN(rows * cols)
+	id := func(r, c int32) int32 { return r*cols + c }
+	for r := int32(0); r < rows; r++ {
+		for c := int32(0); c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// PaperFigure1 reconstructs the running example of the paper (Fig. 1(a)):
+// a query node u whose source graph has three levels, with the exact hitting
+// probabilities listed in the figure:
+//
+//	h¹(u,wa)=h¹(u,wb)=h¹(u,wc)=0.258, h²(u,wd)=h²(u,wf)=h²(u,wg)=0.1,
+//	h²(u,we)=0.3, h³(u,wh)=0.194, h³(u,wp)=0.155, h³(u,wc)=0.039,
+//
+// and with ε_h = 0.12: A⁽¹⁾={wa,wb,wc}, A⁽²⁾={we}, A⁽³⁾={wh,wp}, L=3.
+//
+// Node ids: u=0, wa=1, wb=2, wc=3, wd=4, we=5, wf=6, wg=7, wh=8, wp=9,
+// wx=10 (an auxiliary level-3 node required so that d_I(wf)=d_I(wg)=2,
+// which the figure's printed values imply).
+func PaperFigure1() *graph.Graph {
+	b := graph.NewBuilder(graph.BuildOptions{})
+	b.SetN(11)
+	// level 1: in-neighbors of u are wa, wb, wc  => edges wa->u etc.
+	for _, w := range []int32{1, 2, 3} {
+		b.AddEdge(w, 0)
+	}
+	// level 2: I(wa)={wd,we}, I(wb)={we}, I(wc)={wf,wg}
+	b.AddEdge(4, 1)
+	b.AddEdge(5, 1)
+	b.AddEdge(5, 2)
+	b.AddEdge(6, 3)
+	b.AddEdge(7, 3)
+	// level 3: I(wd)={wh}, I(we)={wh,wp}, I(wf)={wp,wx}, I(wg)={wc,wx}
+	b.AddEdge(8, 4)
+	b.AddEdge(8, 5)
+	b.AddEdge(9, 5)
+	b.AddEdge(9, 6)
+	b.AddEdge(10, 6)
+	b.AddEdge(3, 7)
+	b.AddEdge(10, 7)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

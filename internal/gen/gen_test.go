@@ -1,0 +1,231 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/simrank/simpush/internal/graph"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(100, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 || g.M() != 500 {
+		t.Fatalf("got %v", g)
+	}
+	g.Edges(func(f, to int32) {
+		if f == to {
+			t.Fatalf("self loop %d", f)
+		}
+	})
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a, _ := ErdosRenyi(50, 200, 9)
+	b, _ := ErdosRenyi(50, 200, 9)
+	for v := int32(0); v < 50; v++ {
+		if len(a.Out(v)) != len(b.Out(v)) {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c, _ := ErdosRenyi(50, 200, 10)
+	diff := false
+	for v := int32(0); v < 50 && !diff; v++ {
+		if len(a.Out(v)) != len(c.Out(v)) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Log("warning: different seeds produced identical degree sequences (possible but unlikely)")
+	}
+}
+
+func TestErdosRenyiErrors(t *testing.T) {
+	if _, err := ErdosRenyi(1, 1, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := ErdosRenyi(3, 100, 0); err == nil {
+		t.Fatal("m > n(n-1) accepted")
+	}
+}
+
+func TestBarabasiAlbertSymmetric(t *testing.T) {
+	g, err := BarabasiAlbert(500, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if !s.Symmetric {
+		t.Fatal("BA graph not symmetric")
+	}
+	if s.MaxInDeg < 10 {
+		t.Fatalf("BA graph lacks hubs: max in-degree %d", s.MaxInDeg)
+	}
+	if g.N() != 500 {
+		t.Fatalf("n = %d", g.N())
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	if _, err := BarabasiAlbert(1, 1, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := BarabasiAlbert(10, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestPreferentialAttachmentSkew(t *testing.T) {
+	g, err := PreferentialAttachment(2000, 5, 0.85, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if s.Symmetric {
+		t.Fatal("PA graph should be directed")
+	}
+	// Heavy tail: max in-degree should far exceed the average.
+	if float64(s.MaxInDeg) < 10*s.AvgInDeg {
+		t.Fatalf("in-degree tail too light: max=%d avg=%.1f", s.MaxInDeg, s.AvgInDeg)
+	}
+}
+
+func TestCopyingModelPowerLaw(t *testing.T) {
+	g, err := CopyingModel(5000, 10, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if float64(s.MaxInDeg) < 5*s.AvgInDeg {
+		t.Fatalf("copying model lacks power-law tail: max=%d avg=%.1f", s.MaxInDeg, s.AvgInDeg)
+	}
+	if s.AvgOutDeg < 5 || s.AvgOutDeg > 11 {
+		t.Fatalf("avg out-degree %v out of expected band", s.AvgOutDeg)
+	}
+}
+
+func TestCopyingModelErrors(t *testing.T) {
+	if _, err := CopyingModel(100, 5, 0, 0); err == nil {
+		t.Fatal("beta=0 accepted")
+	}
+	if _, err := CopyingModel(100, 5, 1, 0); err == nil {
+		t.Fatal("beta=1 accepted")
+	}
+}
+
+func TestSBMCommunityStructure(t *testing.T) {
+	g, err := SBM(1000, 10, 8, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count within- vs cross-block edges; within should dominate.
+	blockSize := int32(100)
+	within, cross := 0, 0
+	g.Edges(func(f, to int32) {
+		if f/blockSize == to/blockSize {
+			within++
+		} else {
+			cross++
+		}
+	})
+	if within <= cross {
+		t.Fatalf("SBM: within=%d cross=%d", within, cross)
+	}
+}
+
+func TestForestFire(t *testing.T) {
+	g, err := ForestFire(2000, 0.4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.M() < 2000 {
+		t.Fatalf("forest fire too sparse: m=%d", g.M())
+	}
+}
+
+func TestForestFireErrors(t *testing.T) {
+	if _, err := ForestFire(1, 0.4, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := ForestFire(10, 1.5, 0); err == nil {
+		t.Fatal("p=1.5 accepted")
+	}
+}
+
+func TestToyGraphs(t *testing.T) {
+	if g := Cycle(5); g.M() != 5 || g.InDeg(0) != 1 {
+		t.Fatalf("cycle: %v", g)
+	}
+	if g := Star(6); g.InDeg(0) != 5 || g.OutDeg(0) != 0 {
+		t.Fatalf("star: %v", g)
+	}
+	if g := Complete(4); g.M() != 12 {
+		t.Fatalf("complete: %v", g)
+	}
+	if g := Path(4); g.M() != 3 {
+		t.Fatalf("path: %v", g)
+	}
+	if g := Grid(3, 4); g.N() != 12 || g.M() != int64(2*3*4-3-4) {
+		t.Fatalf("grid: %v", g)
+	}
+}
+
+func TestPaperFigure1Levels(t *testing.T) {
+	g := PaperFigure1()
+	// u=0 must have in-neighbors wa=1, wb=2, wc=3.
+	if g.InDeg(0) != 3 {
+		t.Fatalf("u in-degree = %d, want 3", g.InDeg(0))
+	}
+	// we=5 must point at both wa=1 and wb=2.
+	outs := map[int32]bool{}
+	for _, w := range g.Out(5) {
+		outs[w] = true
+	}
+	if !outs[1] || !outs[2] {
+		t.Fatalf("we out-neighbors = %v", g.Out(5))
+	}
+}
+
+func TestRosterGenerates(t *testing.T) {
+	for _, d := range Roster {
+		g, err := d.Generate(0.02) // tiny scale for CI speed (min 1000 nodes)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if g.N() < 1000 {
+			t.Fatalf("%s: n=%d below floor", d.Name, g.N())
+		}
+		s := graph.ComputeStats(g)
+		if d.Directed == s.Symmetric {
+			t.Fatalf("%s: directedness mismatch (want directed=%v, symmetric=%v)", d.Name, d.Directed, s.Symmetric)
+		}
+	}
+}
+
+func TestRosterStable(t *testing.T) {
+	d := Roster[0]
+	a, err := d.Generate(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Generate(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatal("dataset generation not deterministic")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("uk-sim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

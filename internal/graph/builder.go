@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// BuildOptions controls edge-stream normalization in Builder.
+type BuildOptions struct {
+	// Undirected inserts the reverse of every added edge, mirroring the
+	// paper's convention of converting undirected graphs into pairs of
+	// opposing directed edges.
+	Undirected bool
+	// DropSelfLoops discards edges (v, v).
+	DropSelfLoops bool
+	// Dedup removes duplicate (from, to) pairs.
+	Dedup bool
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+//
+// The zero value is unusable; construct with NewBuilder. Nodes are created
+// implicitly: adding edge (u, v) extends the node range to max(u, v)+1.
+// SetN can reserve isolated trailing nodes.
+type Builder struct {
+	opts  BuildOptions
+	n     int32
+	froms []int32
+	tos   []int32
+}
+
+// NewBuilder returns a Builder with the given normalization options.
+func NewBuilder(opts BuildOptions) *Builder {
+	return &Builder{opts: opts}
+}
+
+// SetN declares that the graph has at least n nodes (ids 0..n-1), allowing
+// isolated nodes beyond the maximum id seen in edges.
+func (b *Builder) SetN(n int32) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// Grow reserves capacity for m additional edges.
+func (b *Builder) Grow(m int) {
+	if cap(b.froms)-len(b.froms) < m {
+		nf := make([]int32, len(b.froms), len(b.froms)+m)
+		copy(nf, b.froms)
+		b.froms = nf
+		nt := make([]int32, len(b.tos), len(b.tos)+m)
+		copy(nt, b.tos)
+		b.tos = nt
+	}
+}
+
+// AddEdge records the directed edge (from, to). Negative ids are rejected
+// at Build time.
+func (b *Builder) AddEdge(from, to int32) {
+	b.froms = append(b.froms, from)
+	b.tos = append(b.tos, to)
+	if from >= b.n {
+		b.n = from + 1
+	}
+	if to >= b.n {
+		b.n = to + 1
+	}
+}
+
+// NumEdgesAdded returns the number of AddEdge calls so far (before
+// normalization such as dedup or symmetrization).
+func (b *Builder) NumEdgesAdded() int {
+	return len(b.froms)
+}
+
+// Build finalizes the edge stream into an immutable Graph.
+// The Builder remains valid and can keep accumulating edges for a later
+// Build (used by the dynamic-graph example to rebuild after updates).
+func (b *Builder) Build() (*Graph, error) {
+	for i := range b.froms {
+		if b.froms[i] < 0 || b.tos[i] < 0 {
+			return nil, fmt.Errorf("graph: negative node id in edge (%d, %d)", b.froms[i], b.tos[i])
+		}
+	}
+	froms, tos := b.froms, b.tos
+	if b.opts.Undirected {
+		froms = make([]int32, 0, 2*len(b.froms))
+		tos = make([]int32, 0, 2*len(b.tos))
+		for i := range b.froms {
+			froms = append(froms, b.froms[i], b.tos[i])
+			tos = append(tos, b.tos[i], b.froms[i])
+		}
+	}
+	if b.opts.DropSelfLoops {
+		ff := froms[:0:0]
+		tt := tos[:0:0]
+		for i := range froms {
+			if froms[i] != tos[i] {
+				ff = append(ff, froms[i])
+				tt = append(tt, tos[i])
+			}
+		}
+		froms, tos = ff, tt
+	}
+	if b.opts.Dedup {
+		froms, tos = dedupEdges(froms, tos)
+	}
+	return fromEdges(b.n, froms, tos)
+}
+
+// dedupEdges sorts the edge list by (from, to) and removes duplicates.
+func dedupEdges(froms, tos []int32) ([]int32, []int32) {
+	idx := make([]int32, len(froms))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, c int) bool {
+		ia, ic := idx[a], idx[c]
+		if froms[ia] != froms[ic] {
+			return froms[ia] < froms[ic]
+		}
+		return tos[ia] < tos[ic]
+	})
+	ff := make([]int32, 0, len(froms))
+	tt := make([]int32, 0, len(tos))
+	for _, i := range idx {
+		k := len(ff)
+		if k > 0 && ff[k-1] == froms[i] && tt[k-1] == tos[i] {
+			continue
+		}
+		ff = append(ff, froms[i])
+		tt = append(tt, tos[i])
+	}
+	return ff, tt
+}
+
+// fromEdges builds the dual CSR via two counting sorts.
+func fromEdges(n int32, froms, tos []int32) (*Graph, error) {
+	if n < 0 {
+		return nil, errors.New("graph: negative node count")
+	}
+	g := &Graph{n: n}
+	m := len(froms)
+	g.outOff = make([]int64, n+1)
+	g.inOff = make([]int64, n+1)
+	for i := 0; i < m; i++ {
+		g.outOff[froms[i]+1]++
+		g.inOff[tos[i]+1]++
+	}
+	for v := int32(0); v < n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+		g.inOff[v+1] += g.inOff[v]
+	}
+	g.outAdj = make([]int32, m)
+	g.inAdj = make([]int32, m)
+	outCursor := make([]int64, n)
+	inCursor := make([]int64, n)
+	for i := 0; i < m; i++ {
+		f, t := froms[i], tos[i]
+		g.outAdj[g.outOff[f]+outCursor[f]] = t
+		outCursor[f]++
+		g.inAdj[g.inOff[t]+inCursor[t]] = f
+		inCursor[t]++
+	}
+	return g, nil
+}
+
+// FromEdgeList is a convenience wrapper: it builds a graph from parallel
+// from/to slices with the given options.
+func FromEdgeList(froms, tos []int32, opts BuildOptions) (*Graph, error) {
+	if len(froms) != len(tos) {
+		return nil, fmt.Errorf("graph: mismatched edge slices (%d vs %d)", len(froms), len(tos))
+	}
+	b := NewBuilder(opts)
+	b.Grow(len(froms))
+	for i := range froms {
+		b.AddEdge(froms[i], tos[i])
+	}
+	return b.Build()
+}
+
+// MustFromPairs builds a directed graph from (from, to) pairs and panics on
+// error. It is intended for tests and examples with literal edge lists.
+func MustFromPairs(pairs ...[2]int32) *Graph {
+	b := NewBuilder(BuildOptions{})
+	for _, p := range pairs {
+		b.AddEdge(p[0], p[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,59 @@
+package graph
+
+// WeaklyConnectedComponents labels each node with a component id in
+// [0, count) treating every edge as undirected, and returns the labels
+// with the component count. Useful when preparing graphs for SimRank:
+// query nodes in tiny components have near-empty similarity rows.
+func WeaklyConnectedComponents(g *Graph) (labels []int32, count int32) {
+	n := g.N()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for start := int32(0); start < n; start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		labels[start] = count
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Out(v) {
+				if labels[w] < 0 {
+					labels[w] = count
+					queue = append(queue, w)
+				}
+			}
+			for _, w := range g.In(v) {
+				if labels[w] < 0 {
+					labels[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// LargestComponent returns the node count of the largest weakly connected
+// component.
+func LargestComponent(g *Graph) int64 {
+	labels, count := WeaklyConnectedComponents(g)
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int64, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	var max int64
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}

@@ -1,0 +1,73 @@
+package graph
+
+import "testing"
+
+func TestWCCSingleComponent(t *testing.T) {
+	// directed path is one weak component
+	b := NewBuilder(BuildOptions{})
+	for i := int32(0); i < 9; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := WeaklyConnectedComponents(g)
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+	for v, l := range labels {
+		if l != 0 {
+			t.Fatalf("label[%d] = %d", v, l)
+		}
+	}
+}
+
+func TestWCCMultipleComponents(t *testing.T) {
+	b := NewBuilder(BuildOptions{})
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.SetN(6) // nodes 4, 5 isolated
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, count := WeaklyConnectedComponents(g)
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] {
+		t.Fatal("edges do not share components")
+	}
+	if labels[0] == labels[2] || labels[4] == labels[5] {
+		t.Fatal("separate components merged")
+	}
+}
+
+func TestWCCEmpty(t *testing.T) {
+	g, err := NewBuilder(BuildOptions{}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, count := WeaklyConnectedComponents(g); count != 0 {
+		t.Fatalf("count = %d", count)
+	}
+	if LargestComponent(g) != 0 {
+		t.Fatal("largest component of empty graph")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	b := NewBuilder(BuildOptions{})
+	// component A: 0-1-2 ; component B: 3-4
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LargestComponent(g); got != 3 {
+		t.Fatalf("largest = %d", got)
+	}
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Dynamic is a mutable directed graph that supports the evolving-graph
+// scenario motivating index-free SimRank (paper §1): edges arrive and
+// depart continuously, and queries must always see the newest state.
+//
+// Mutations are buffered; Snapshot materializes an immutable CSR Graph,
+// rebuilding lazily and amortized — repeated Snapshot calls without
+// intervening mutations return the same *Graph, so query engines can be
+// constructed directly on the result. All methods are safe for concurrent
+// use.
+type Dynamic struct {
+	mu      sync.Mutex
+	n       int32
+	froms   []int32
+	tos     []int32
+	deleted map[[2]int32]int // pending deletion counts per edge
+	snap    *Graph           // cached snapshot; nil when dirty
+}
+
+// NewDynamic returns an empty dynamic graph with capacity hints.
+func NewDynamic(nHint int32, mHint int) *Dynamic {
+	return &Dynamic{
+		froms:   make([]int32, 0, mHint),
+		tos:     make([]int32, 0, mHint),
+		deleted: map[[2]int32]int{},
+		n:       0,
+	}
+}
+
+// FromGraph seeds a dynamic graph with an existing immutable graph.
+func FromGraph(g *Graph) *Dynamic {
+	d := NewDynamic(g.N(), int(g.M()))
+	d.n = g.N()
+	g.Edges(func(f, t int32) {
+		d.froms = append(d.froms, f)
+		d.tos = append(d.tos, t)
+	})
+	return d
+}
+
+// AddEdge inserts a directed edge; node range grows as needed.
+func (d *Dynamic) AddEdge(from, to int32) error {
+	if from < 0 || to < 0 {
+		return fmt.Errorf("graph: negative node id (%d, %d)", from, to)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.froms = append(d.froms, from)
+	d.tos = append(d.tos, to)
+	if from >= d.n {
+		d.n = from + 1
+	}
+	if to >= d.n {
+		d.n = to + 1
+	}
+	d.snap = nil
+	return nil
+}
+
+// RemoveEdge marks one occurrence of (from, to) for deletion. Removing an
+// absent edge is reported at the next Snapshot.
+func (d *Dynamic) RemoveEdge(from, to int32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.deleted[[2]int32{from, to}]++
+	d.snap = nil
+}
+
+// AddNode reserves node ids up to n-1 even if isolated.
+func (d *Dynamic) AddNode(n int32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n > d.n {
+		d.n = n
+	}
+	d.snap = nil
+}
+
+// PendingEdges returns the count of buffered edge insertions (before
+// deletions are applied).
+func (d *Dynamic) PendingEdges() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.froms)
+}
+
+// Snapshot materializes the current graph. The rebuild applies pending
+// deletions, compacts the edge buffer and caches the result until the
+// next mutation.
+func (d *Dynamic) Snapshot() (*Graph, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.snap != nil {
+		return d.snap, nil
+	}
+	if len(d.deleted) > 0 {
+		// Validate before mutating: every pending deletion must match an
+		// existing buffered edge.
+		avail := make(map[[2]int32]int, len(d.deleted))
+		for i := range d.froms {
+			key := [2]int32{d.froms[i], d.tos[i]}
+			if _, tracked := d.deleted[key]; tracked {
+				avail[key]++
+			}
+		}
+		for key, cnt := range d.deleted {
+			if avail[key] < cnt {
+				return nil, fmt.Errorf("graph: removing nonexistent edge (%d, %d)", key[0], key[1])
+			}
+		}
+		ff := d.froms[:0]
+		tt := d.tos[:0]
+		for i := range d.froms {
+			key := [2]int32{d.froms[i], d.tos[i]}
+			if cnt := d.deleted[key]; cnt > 0 {
+				d.deleted[key] = cnt - 1
+				continue
+			}
+			ff = append(ff, d.froms[i])
+			tt = append(tt, d.tos[i])
+		}
+		for key := range d.deleted {
+			delete(d.deleted, key)
+		}
+		d.froms, d.tos = ff, tt
+	}
+	g, err := fromEdges(d.n, d.froms, d.tos)
+	if err != nil {
+		return nil, err
+	}
+	d.snap = g
+	return g, nil
+}

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDynamicBasic(t *testing.T) {
+	d := NewDynamic(0, 4)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("snapshot %v", g)
+	}
+}
+
+func TestDynamicNegativeEdge(t *testing.T) {
+	d := NewDynamic(0, 0)
+	if err := d.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative edge accepted")
+	}
+}
+
+func TestDynamicSnapshotCached(t *testing.T) {
+	d := NewDynamic(0, 0)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("snapshot not cached without mutation")
+	}
+	if err := d.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("snapshot not invalidated by mutation")
+	}
+	if c.M() != 2 {
+		t.Fatalf("m = %d", c.M())
+	}
+}
+
+func TestDynamicRemoveEdge(t *testing.T) {
+	d := NewDynamic(0, 0)
+	for i := 0; i < 3; i++ {
+		if err := d.AddEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.RemoveEdge(0, 1)
+	g, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d after one deletion of a triple edge", g.M())
+	}
+}
+
+func TestDynamicRemoveMissing(t *testing.T) {
+	d := NewDynamic(0, 0)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d.RemoveEdge(5, 6)
+	if _, err := d.Snapshot(); err == nil {
+		t.Fatal("removal of missing edge not reported")
+	}
+}
+
+func TestDynamicFromGraph(t *testing.T) {
+	base := MustFromPairs([2]int32{0, 1}, [2]int32{1, 2})
+	d := FromGraph(base)
+	if err := d.AddEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 3 || g.N() != 3 {
+		t.Fatalf("snapshot %v", g)
+	}
+}
+
+func TestDynamicAddNode(t *testing.T) {
+	d := NewDynamic(0, 0)
+	d.AddNode(10)
+	g, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 || g.M() != 0 {
+		t.Fatalf("snapshot %v", g)
+	}
+}
+
+func TestDynamicPendingEdges(t *testing.T) {
+	d := NewDynamic(0, 0)
+	if d.PendingEdges() != 0 {
+		t.Fatal("fresh graph has pending edges")
+	}
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.PendingEdges() != 1 {
+		t.Fatalf("pending = %d", d.PendingEdges())
+	}
+}
+
+func TestDynamicConcurrent(t *testing.T) {
+	d := NewDynamic(0, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := d.AddEdge(int32(w), int32(i%50)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%50 == 0 {
+					if _, err := d.Snapshot(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	g, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 800 {
+		t.Fatalf("m = %d, want 800", g.M())
+	}
+}
+
+func TestDynamicDeletionThenReuse(t *testing.T) {
+	d := NewDynamic(0, 0)
+	for i := int32(0); i < 10; i++ {
+		if err := d.AddEdge(i, (i+1)%10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.RemoveEdge(3, 4)
+	g1, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.M() != 9 {
+		t.Fatalf("m = %d", g1.M())
+	}
+	// deletions consumed: another snapshot after a new edge is consistent
+	if err := d.AddEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != 10 {
+		t.Fatalf("m = %d after re-adding", g2.M())
+	}
+}

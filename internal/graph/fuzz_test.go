@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList hardens the fast edge-list parser: arbitrary input must
+// either parse into a consistent graph or return an error — never panic,
+// and a successful parse must round-trip through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% other\n\n5 3 7\n")
+	f.Add("  12\t14 \n")
+	f.Add("-1 2\n")
+	f.Add("99999999999999999999 0\n")
+	f.Add("0 1")
+	f.Add("a b\n0 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input), BuildOptions{})
+		if err != nil {
+			return
+		}
+		var sumIn, sumOut int64
+		for v := int32(0); v < g.N(); v++ {
+			sumIn += int64(g.InDeg(v))
+			sumOut += int64(g.OutDeg(v))
+		}
+		if sumIn != g.M() || sumOut != g.M() {
+			t.Fatalf("degree sums %d/%d != m %d", sumIn, sumOut, g.M())
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadEdgeList(&buf, BuildOptions{})
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.M() != g.M() {
+			t.Fatalf("round trip changed m: %d vs %d", g2.M(), g.M())
+		}
+	})
+}
+
+// FuzzReadBinary hardens the binary loader against corrupt bytes.
+func FuzzReadBinary(f *testing.F) {
+	g := MustFromPairs([2]int32{0, 1}, [2]int32{1, 2}, [2]int32{2, 0})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("garbage"))
+	corrupted := append([]byte(nil), valid...)
+	corrupted[10] ^= 0xff
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Any accepted graph must be safe to traverse.
+		g.Edges(func(from, to int32) {
+			if !g.HasNode(from) || !g.HasNode(to) {
+				t.Fatalf("edge (%d,%d) out of range", from, to)
+			}
+		})
+	})
+}
+
+// FuzzRemappedParser hardens the sparse-id loader.
+func FuzzRemappedParser(f *testing.F) {
+	f.Add("10000000000 5\n5 7\n")
+	f.Add("x y\n")
+	f.Add("1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, remap, err := ReadEdgeListRemapped(strings.NewReader(input), BuildOptions{})
+		if err != nil {
+			return
+		}
+		if int32(remap.Len()) != g.N() {
+			t.Fatalf("remap len %d != n %d", remap.Len(), g.N())
+		}
+		for v := int32(0); v < g.N(); v++ {
+			ext := remap.External(v)
+			back, ok := remap.Internal(ext)
+			if !ok || back != v {
+				t.Fatalf("remap not bijective at %d", v)
+			}
+		}
+	})
+}

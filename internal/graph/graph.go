@@ -1,0 +1,100 @@
+// Package graph provides the directed-graph substrate shared by SimPush and
+// all baseline SimRank algorithms.
+//
+// Graphs are stored in compressed sparse row (CSR) form twice: once over
+// out-edges and once over in-edges. SimRank computations walk in-edges
+// (a √c-walk jumps to a uniformly random in-neighbor), while reverse pushes
+// follow out-edges, so both directions must be O(1)-indexable.
+//
+// Node identifiers are dense int32 values in [0, N()). Construction goes
+// through Builder, which accepts arbitrary edge streams and performs
+// optional normalization (self-loop removal, deduplication, undirected
+// symmetrization).
+package graph
+
+import "fmt"
+
+// Graph is an immutable directed graph in dual-CSR form.
+//
+// The zero value is an empty graph. Concurrent readers are safe; the
+// structure is never mutated after construction.
+type Graph struct {
+	n int32
+
+	// CSR over out-edges: outAdj[outOff[v]:outOff[v+1]] lists v's out-neighbors.
+	outOff []int64
+	outAdj []int32
+
+	// CSR over in-edges: inAdj[inOff[v]:inOff[v+1]] lists v's in-neighbors.
+	inOff []int64
+	inAdj []int32
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int32 {
+	return g.n
+}
+
+// M returns the number of directed edges.
+func (g *Graph) M() int64 {
+	return int64(len(g.outAdj))
+}
+
+// OutDeg returns the out-degree of v.
+func (g *Graph) OutDeg(v int32) int32 {
+	return int32(g.outOff[v+1] - g.outOff[v])
+}
+
+// InDeg returns the in-degree of v.
+func (g *Graph) InDeg(v int32) int32 {
+	return int32(g.inOff[v+1] - g.inOff[v])
+}
+
+// Out returns v's out-neighbors as a shared slice. Callers must not modify it.
+func (g *Graph) Out(v int32) []int32 {
+	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
+}
+
+// In returns v's in-neighbors as a shared slice. Callers must not modify it.
+func (g *Graph) In(v int32) []int32 {
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
+
+// HasNode reports whether v is a valid node identifier.
+func (g *Graph) HasNode(v int32) bool {
+	return v >= 0 && v < g.n
+}
+
+// MemoryBytes returns the in-memory footprint of the CSR arrays.
+func (g *Graph) MemoryBytes() int64 {
+	return int64(len(g.outOff))*8 + int64(len(g.inOff))*8 +
+		int64(len(g.outAdj))*4 + int64(len(g.inAdj))*4
+}
+
+// String summarizes the graph for diagnostics.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.n, g.M())
+}
+
+// Transpose returns a new Graph with every edge reversed. The operation is
+// O(1): it reuses the existing CSR arrays with the roles of the in- and
+// out-directions swapped.
+func (g *Graph) Transpose() *Graph {
+	return &Graph{
+		n:      g.n,
+		outOff: g.inOff,
+		outAdj: g.inAdj,
+		inOff:  g.outOff,
+		inAdj:  g.outAdj,
+	}
+}
+
+// Edges invokes fn for every directed edge (from, to). Iteration is in
+// CSR order: sorted by source, then by insertion order of targets.
+func (g *Graph) Edges(fn func(from, to int32)) {
+	for v := int32(0); v < g.n; v++ {
+		for _, w := range g.Out(v) {
+			fn(v, w)
+		}
+	}
+}

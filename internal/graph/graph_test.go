@@ -1,0 +1,371 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/simrank/simpush/internal/rnd"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := NewBuilder(BuildOptions{}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.N(), g.M())
+	}
+	if !ComputeStats(g).Symmetric {
+		t.Fatal("empty graph should be symmetric")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	b := NewBuilder(BuildOptions{})
+	b.SetN(1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1 || g.M() != 0 {
+		t.Fatalf("got n=%d m=%d", g.N(), g.M())
+	}
+	if g.InDeg(0) != 0 || g.OutDeg(0) != 0 {
+		t.Fatal("isolated node has edges")
+	}
+}
+
+func TestBasicAdjacency(t *testing.T) {
+	g := MustFromPairs([2]int32{0, 1}, [2]int32{0, 2}, [2]int32{1, 2}, [2]int32{2, 0})
+	if g.N() != 3 || g.M() != 4 {
+		t.Fatalf("got n=%d m=%d", g.N(), g.M())
+	}
+	wantOut := map[int32][]int32{0: {1, 2}, 1: {2}, 2: {0}}
+	wantIn := map[int32][]int32{0: {2}, 1: {0}, 2: {0, 1}}
+	for v := int32(0); v < 3; v++ {
+		if got := sorted(g.Out(v)); !equal(got, wantOut[v]) {
+			t.Errorf("Out(%d) = %v, want %v", v, got, wantOut[v])
+		}
+		if got := sorted(g.In(v)); !equal(got, wantIn[v]) {
+			t.Errorf("In(%d) = %v, want %v", v, got, wantIn[v])
+		}
+	}
+}
+
+func TestUndirectedSymmetrization(t *testing.T) {
+	b := NewBuilder(BuildOptions{Undirected: true})
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("undirected m = %d, want 4", g.M())
+	}
+	if !ComputeStats(g).Symmetric {
+		t.Fatal("symmetrized graph not detected as symmetric")
+	}
+}
+
+func TestDropSelfLoops(t *testing.T) {
+	b := NewBuilder(BuildOptions{DropSelfLoops: true})
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("m = %d after self-loop removal, want 1", g.M())
+	}
+}
+
+func TestDedup(t *testing.T) {
+	b := NewBuilder(BuildOptions{Dedup: true})
+	for i := 0; i < 5; i++ {
+		b.AddEdge(0, 1)
+	}
+	b.AddEdge(1, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d after dedup, want 2", g.M())
+	}
+}
+
+func TestNegativeIDRejected(t *testing.T) {
+	b := NewBuilder(BuildOptions{})
+	b.AddEdge(-1, 2)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}
+
+func TestFromEdgeListMismatch(t *testing.T) {
+	if _, err := FromEdgeList([]int32{1}, []int32{}, BuildOptions{}); err == nil {
+		t.Fatal("mismatched slices accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := MustFromPairs([2]int32{0, 1}, [2]int32{1, 2}, [2]int32{2, 0}, [2]int32{0, 2})
+	tr := g.Transpose()
+	if tr.M() != g.M() || tr.N() != g.N() {
+		t.Fatal("transpose changed size")
+	}
+	for v := int32(0); v < g.N(); v++ {
+		if !equal(sorted(g.Out(v)), sorted(tr.In(v))) {
+			t.Fatalf("transpose Out/In mismatch at %d", v)
+		}
+		if !equal(sorted(g.In(v)), sorted(tr.Out(v))) {
+			t.Fatalf("transpose In/Out mismatch at %d", v)
+		}
+	}
+}
+
+// Property: for random edge sets, degree sums equal m and CSR round-trips
+// the multiset of edges.
+func TestCSRInvariants(t *testing.T) {
+	src := rnd.New(12345)
+	f := func(seed uint16) bool {
+		r := rnd.New(uint64(seed) ^ src.Uint64())
+		n := int32(r.Intn(40) + 1)
+		m := r.Intn(200)
+		type edge struct{ f, t int32 }
+		want := map[edge]int{}
+		b := NewBuilder(BuildOptions{})
+		b.SetN(n)
+		for i := 0; i < m; i++ {
+			e := edge{r.Int31n(n), r.Int31n(n)}
+			want[e]++
+			b.AddEdge(e.f, e.t)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if g.M() != int64(m) {
+			return false
+		}
+		var sumIn, sumOut int64
+		for v := int32(0); v < g.N(); v++ {
+			sumIn += int64(g.InDeg(v))
+			sumOut += int64(g.OutDeg(v))
+		}
+		if sumIn != int64(m) || sumOut != int64(m) {
+			return false
+		}
+		got := map[edge]int{}
+		g.Edges(func(from, to int32) { got[edge{from, to}]++ })
+		if len(got) != len(want) {
+			return false
+		}
+		for e, c := range want {
+			if got[e] != c {
+				return false
+			}
+		}
+		// In-adjacency must be consistent with out-adjacency.
+		gotIn := map[edge]int{}
+		for v := int32(0); v < g.N(); v++ {
+			for _, w := range g.In(v) {
+				gotIn[edge{w, v}]++
+			}
+		}
+		for e, c := range want {
+			if gotIn[e] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := MustFromPairs([2]int32{0, 1}, [2]int32{3, 2}, [2]int32{2, 2}, [2]int32{1, 0})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed size: %v vs %v", g2, g)
+	}
+}
+
+func TestEdgeListComments(t *testing.T) {
+	in := "# comment\n% another\n\n0 1\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d, want 2", g.M())
+	}
+}
+
+func TestEdgeListNoTrailingNewline(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n5 3"), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || g.N() != 6 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestEdgeListMalformed(t *testing.T) {
+	cases := []string{
+		"0\n",
+		"a b\n",
+		"0 b\n",
+		"1 2 garbage\n",
+		"99999999999999999999 1\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), BuildOptions{}); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestEdgeListTrailingWeightTolerated(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1 7\n"), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("m = %d", g.M())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rnd.New(777)
+	b := NewBuilder(BuildOptions{})
+	b.SetN(100)
+	for i := 0; i < 500; i++ {
+		b.AddEdge(r.Int31n(100), r.Int31n(100))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatal("binary round trip changed size")
+	}
+	for v := int32(0); v < g.N(); v++ {
+		if !equal(g.Out(v), g2.Out(v)) || !equal(g.In(v), g2.In(v)) {
+			t.Fatalf("adjacency mismatch at %d", v)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOTAGRAPH"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	g := MustFromPairs([2]int32{0, 1})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	// Star: 0 <- {1..5}
+	b := NewBuilder(BuildOptions{})
+	for i := int32(1); i <= 5; i++ {
+		b.AddEdge(i, 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(g)
+	if s.MaxInDeg != 5 {
+		t.Fatalf("MaxInDeg = %d", s.MaxInDeg)
+	}
+	if s.DanglingIn != 5 {
+		t.Fatalf("DanglingIn = %d", s.DanglingIn)
+	}
+	if s.DanglingOut != 1 {
+		t.Fatalf("DanglingOut = %d", s.DanglingOut)
+	}
+	if s.Symmetric {
+		t.Fatal("star marked symmetric")
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	g := MustFromPairs([2]int32{0, 1})
+	if g.MemoryBytes() <= 0 {
+		t.Fatal("non-positive memory estimate")
+	}
+}
+
+func sorted(s []int32) []int32 {
+	c := make([]int32, len(s))
+	copy(c, s)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+func equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rnd.New(1)
+	const n, m = 10000, 100000
+	froms := make([]int32, m)
+	tos := make([]int32, m)
+	for i := range froms {
+		froms[i] = r.Int31n(n)
+		tos[i] = r.Int31n(n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdgeList(froms, tos, BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

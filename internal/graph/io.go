@@ -1,0 +1,239 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge-list stream: one
+// "from to" pair per line. Lines that are empty or start with '#' or '%'
+// (comment conventions of SNAP and LAW dumps) are skipped.
+func ReadEdgeList(r io.Reader, opts BuildOptions) (*Graph, error) {
+	b := NewBuilder(opts)
+	br := bufio.NewReaderSize(r, 1<<20)
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if len(line) > 0 {
+			lineNo++
+			if perr := parseEdgeLine(line, lineNo, b); perr != nil {
+				return nil, perr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// parseEdgeLine parses a single "from to" line into the builder.
+func parseEdgeLine(line string, lineNo int, b *Builder) error {
+	s := strings.TrimSpace(line)
+	if s == "" || s[0] == '#' || s[0] == '%' {
+		return nil
+	}
+	from, rest, err := parseInt32Field(s)
+	if err != nil {
+		return fmt.Errorf("graph: line %d: %v", lineNo, err)
+	}
+	to, rest, err := parseInt32Field(rest)
+	if err != nil {
+		return fmt.Errorf("graph: line %d: %v", lineNo, err)
+	}
+	if strings.TrimSpace(rest) != "" {
+		// Tolerate trailing weight columns, reject garbage.
+		if _, _, werr := parseInt32Field(strings.TrimSpace(rest)); werr != nil {
+			return fmt.Errorf("graph: line %d: trailing garbage %q", lineNo, rest)
+		}
+	}
+	b.AddEdge(from, to)
+	return nil
+}
+
+// parseInt32Field reads one base-10 int32 from the front of s and returns
+// the remainder. It avoids strconv to keep large loads allocation-free.
+func parseInt32Field(s string) (int32, string, error) {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	if i == len(s) {
+		return 0, "", fmt.Errorf("missing integer field")
+	}
+	neg := false
+	if s[i] == '-' {
+		neg = true
+		i++
+	}
+	start := i
+	var v int64
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		v = v*10 + int64(s[i]-'0')
+		if v > 1<<32 {
+			return 0, "", fmt.Errorf("integer overflow in %q", s)
+		}
+		i++
+	}
+	if i == start {
+		return 0, "", fmt.Errorf("malformed integer in %q", s)
+	}
+	if neg {
+		v = -v
+	}
+	if v < -(1<<31) || v >= 1<<31 {
+		return 0, "", fmt.Errorf("node id %d out of int32 range", v)
+	}
+	return int32(v), s[i:], nil
+}
+
+// WriteEdgeList emits the graph as "from to" lines in CSR order.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var err error
+	g.Edges(func(from, to int32) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, "%d %d\n", from, to)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadEdgeListFile reads an edge-list file from disk.
+func LoadEdgeListFile(path string, opts BuildOptions) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f, opts)
+}
+
+// binaryMagic identifies the binary graph format; the trailing byte is a
+// format version.
+var binaryMagic = [8]byte{'S', 'P', 'G', 'R', 'A', 'P', 'H', 1}
+
+// WriteBinary serializes the graph in a little-endian binary format that
+// round-trips exactly and loads without re-sorting.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	hdr := [2]int64{int64(g.n), g.M()}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	for _, arr64 := range [][]int64{g.outOff, g.inOff} {
+		if err := binary.Write(bw, binary.LittleEndian, arr64); err != nil {
+			return err
+		}
+	}
+	for _, arr32 := range [][]int32{g.outAdj, g.inAdj} {
+		if err := binary.Write(bw, binary.LittleEndian, arr32); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary loads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic[:])
+	}
+	var hdr [2]int64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, err
+	}
+	n, m := hdr[0], hdr[1]
+	if n < 0 || m < 0 || n >= 1<<31 {
+		return nil, fmt.Errorf("graph: corrupt header n=%d m=%d", n, m)
+	}
+	g := &Graph{n: int32(n)}
+	g.outOff = make([]int64, n+1)
+	g.inOff = make([]int64, n+1)
+	g.outAdj = make([]int32, m)
+	g.inAdj = make([]int32, m)
+	if err := binary.Read(br, binary.LittleEndian, g.outOff); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.inOff); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.outAdj); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.inAdj); err != nil {
+		return nil, err
+	}
+	if err := validateOffsets(g.outOff, m, "out"); err != nil {
+		return nil, err
+	}
+	if err := validateOffsets(g.inOff, m, "in"); err != nil {
+		return nil, err
+	}
+	for _, arr := range [][]int32{g.outAdj, g.inAdj} {
+		for _, v := range arr {
+			if v < 0 || int64(v) >= n {
+				return nil, fmt.Errorf("graph: corrupt adjacency entry %d (n=%d)", v, n)
+			}
+		}
+	}
+	return g, nil
+}
+
+// validateOffsets checks that a CSR offset array starts at 0, is
+// non-decreasing and ends at m.
+func validateOffsets(off []int64, m int64, dir string) error {
+	if off[0] != 0 {
+		return fmt.Errorf("graph: corrupt %s offsets: first entry %d", dir, off[0])
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("graph: corrupt %s offsets: decreasing at %d", dir, i)
+		}
+	}
+	if off[len(off)-1] != m {
+		return fmt.Errorf("graph: corrupt %s offsets: total %d, want %d", dir, off[len(off)-1], m)
+	}
+	return nil
+}
+
+// SaveBinaryFile writes the binary format to path.
+func SaveBinaryFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinaryFile reads the binary format from path.
+func LoadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failingWriter errors after a fixed number of bytes, exercising the error
+// paths of the writers.
+type failingWriter struct {
+	remaining int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, errors.New("injected write failure")
+	}
+	n := len(p)
+	if n > f.remaining {
+		n = f.remaining
+		f.remaining = 0
+		return n, errors.New("injected write failure")
+	}
+	f.remaining -= n
+	return n, nil
+}
+
+// failingReader errors after the prefix is consumed.
+type failingReader struct {
+	data []byte
+	pos  int
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.pos >= len(f.data) {
+		return 0, errors.New("injected read failure")
+	}
+	n := copy(p, f.data[f.pos:])
+	f.pos += n
+	return n, nil
+}
+
+func bigTestGraph(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder(BuildOptions{})
+	for i := int32(0); i < 2000; i++ {
+		b.AddEdge(i, (i+1)%2000)
+		b.AddEdge(i, (i*7+3)%2000)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWriteEdgeListFailure(t *testing.T) {
+	g := bigTestGraph(t)
+	if err := WriteEdgeList(&failingWriter{remaining: 10}, g); err == nil {
+		t.Fatal("write failure not propagated")
+	}
+}
+
+func TestWriteBinaryFailure(t *testing.T) {
+	g := bigTestGraph(t)
+	for _, budget := range []int{0, 4, 20, 100} {
+		if err := WriteBinary(&failingWriter{remaining: budget}, g); err == nil {
+			t.Fatalf("write failure not propagated at budget %d", budget)
+		}
+	}
+}
+
+func TestReadEdgeListMidStreamFailure(t *testing.T) {
+	if _, err := ReadEdgeList(&failingReader{data: []byte("0 1\n1 2\n")}, BuildOptions{}); err == nil {
+		t.Fatal("read failure not propagated")
+	}
+}
+
+func TestReadBinaryCorruptHeader(t *testing.T) {
+	g := MustFromPairs([2]int32{0, 1})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// negative node count
+	bad := append([]byte(nil), raw...)
+	for i := 8; i < 16; i++ {
+		bad[i] = 0xff
+	}
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt n accepted")
+	}
+	// inconsistent offsets
+	bad2 := append([]byte(nil), raw...)
+	bad2[24]++ // first outOff entry
+	if _, err := ReadBinary(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("corrupt offsets accepted")
+	}
+}
+
+func TestSaveLoadBinaryFile(t *testing.T) {
+	g := bigTestGraph(t)
+	path := filepath.Join(t.TempDir(), "g.spg")
+	if err := SaveBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() {
+		t.Fatal("file round trip changed graph")
+	}
+	if _, err := LoadBinaryFile(filepath.Join(t.TempDir(), "missing.spg")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := SaveBinaryFile(filepath.Join(t.TempDir(), "no", "such", "dir", "g.spg"), g); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func TestLoadEdgeListFileMissing(t *testing.T) {
+	if _, err := LoadEdgeListFile("/nonexistent/file.txt", BuildOptions{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadEdgeListFileRemapped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("100 200\n200 300\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, remap, err := LoadEdgeListFileRemapped(path, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || remap.Len() != 3 {
+		t.Fatalf("g=%v remap=%d", g, remap.Len())
+	}
+	if _, _, err := LoadEdgeListFileRemapped("/nonexistent", BuildOptions{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRemapLongLine(t *testing.T) {
+	// a line longer than the default scanner buffer must still parse
+	var sb strings.Builder
+	sb.WriteString("1 2")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("   ")
+	}
+	sb.WriteString("\n3 4\n")
+	g, _, err := ReadEdgeListRemapped(strings.NewReader(sb.String()), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d", g.M())
+	}
+}

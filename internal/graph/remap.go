@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Remapping records the translation between external node identifiers
+// (arbitrary, possibly sparse 64-bit values as found in SNAP/LAW dumps)
+// and the dense int32 ids used internally.
+type Remapping struct {
+	toExternal []int64
+	toInternal map[int64]int32
+}
+
+// External returns the original identifier of internal node v.
+func (r *Remapping) External(v int32) int64 {
+	return r.toExternal[v]
+}
+
+// Internal returns the dense id for an external identifier.
+func (r *Remapping) Internal(ext int64) (int32, bool) {
+	v, ok := r.toInternal[ext]
+	return v, ok
+}
+
+// Len returns the number of mapped nodes.
+func (r *Remapping) Len() int {
+	return len(r.toExternal)
+}
+
+// ReadEdgeListRemapped parses an edge list whose node identifiers are
+// arbitrary 64-bit integers, assigning dense internal ids in first-seen
+// order. Real-world edge dumps routinely have sparse id spaces; loading
+// them through ReadEdgeList would allocate maxID+1 nodes.
+func ReadEdgeListRemapped(rd io.Reader, opts BuildOptions) (*Graph, *Remapping, error) {
+	b := NewBuilder(opts)
+	remap := &Remapping{toInternal: make(map[int64]int32)}
+	intern := func(ext int64) int32 {
+		if v, ok := remap.toInternal[ext]; ok {
+			return v
+		}
+		v := int32(len(remap.toExternal))
+		remap.toExternal = append(remap.toExternal, ext)
+		remap.toInternal[ext] = v
+		return v
+	}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: expected two node ids, got %q", lineNo, line)
+		}
+		from, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		to, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		b.AddEdge(intern(from), intern(to))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, remap, nil
+}
+
+// LoadEdgeListFileRemapped reads a remapped edge list from disk.
+func LoadEdgeListFileRemapped(path string, opts BuildOptions) (*Graph, *Remapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadEdgeListRemapped(f, opts)
+}

@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRemappedLoad(t *testing.T) {
+	in := "# sparse ids\n1000000000000 5\n5 7\n7 1000000000000\n"
+	g, remap, err := ReadEdgeListRemapped(strings.NewReader(in), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("got %v", g)
+	}
+	if remap.Len() != 3 {
+		t.Fatalf("remap len %d", remap.Len())
+	}
+	// first-seen order: 1000000000000 -> 0, 5 -> 1, 7 -> 2
+	if remap.External(0) != 1000000000000 || remap.External(1) != 5 || remap.External(2) != 7 {
+		t.Fatalf("external ids wrong: %d %d %d", remap.External(0), remap.External(1), remap.External(2))
+	}
+	v, ok := remap.Internal(7)
+	if !ok || v != 2 {
+		t.Fatalf("Internal(7) = %d,%v", v, ok)
+	}
+	if _, ok := remap.Internal(12345); ok {
+		t.Fatal("phantom internal id")
+	}
+	// adjacency respects the mapping: 5 -> 7 becomes 1 -> 2
+	if out := g.Out(1); len(out) != 1 || out[0] != 2 {
+		t.Fatalf("Out(1) = %v", out)
+	}
+}
+
+func TestRemappedMalformed(t *testing.T) {
+	for _, in := range []string{"abc def\n", "1\n", "1 x\n"} {
+		if _, _, err := ReadEdgeListRemapped(strings.NewReader(in), BuildOptions{}); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestRemappedUndirected(t *testing.T) {
+	g, _, err := ReadEdgeListRemapped(strings.NewReader("9 4\n"), BuildOptions{Undirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d", g.M())
+	}
+}

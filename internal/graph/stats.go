@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats summarizes structural properties of a graph. It backs the Table 4
+// (dataset statistics) reproduction and sanity checks on generators.
+type Stats struct {
+	N             int32
+	M             int64
+	AvgInDeg      float64
+	AvgOutDeg     float64
+	MaxInDeg      int32
+	MaxOutDeg     int32
+	MedianInDeg   int32
+	DanglingIn    int32 // nodes with in-degree 0 (√c-walk dead ends)
+	DanglingOut   int32 // nodes with out-degree 0
+	Symmetric     bool  // true if the edge set is symmetric (undirected)
+	GiniInDegree  float64
+	PowerLawAlpha float64 // MLE exponent fit of the in-degree tail (xmin=minimum positive degree)
+}
+
+// ComputeStats scans the graph once per metric family.
+func ComputeStats(g *Graph) Stats {
+	n := g.N()
+	s := Stats{N: n, M: g.M()}
+	if n == 0 {
+		s.Symmetric = true
+		return s
+	}
+	s.AvgInDeg = float64(s.M) / float64(n)
+	s.AvgOutDeg = s.AvgInDeg
+	inDegs := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		in, out := g.InDeg(v), g.OutDeg(v)
+		inDegs[v] = in
+		if in > s.MaxInDeg {
+			s.MaxInDeg = in
+		}
+		if out > s.MaxOutDeg {
+			s.MaxOutDeg = out
+		}
+		if in == 0 {
+			s.DanglingIn++
+		}
+		if out == 0 {
+			s.DanglingOut++
+		}
+	}
+	sort.Slice(inDegs, func(i, j int) bool { return inDegs[i] < inDegs[j] })
+	s.MedianInDeg = inDegs[n/2]
+	s.GiniInDegree = gini(inDegs)
+	s.PowerLawAlpha = powerLawAlpha(inDegs)
+	s.Symmetric = isSymmetric(g)
+	return s
+}
+
+// gini computes the Gini coefficient of a sorted non-negative sequence.
+func gini(sorted []int32) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	var cum, total float64
+	for i, d := range sorted {
+		cum += float64(i+1) * float64(d)
+		total += float64(d)
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// powerLawAlpha is the Clauset-Shalizi-Newman MLE exponent for the degree
+// tail, using the smallest positive degree as xmin. It is a descriptive
+// statistic only (the paper cites [3]: strict power laws are rare).
+func powerLawAlpha(sorted []int32) float64 {
+	// find xmin = smallest positive degree
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > 0 })
+	tail := sorted[i:]
+	if len(tail) < 2 {
+		return 0
+	}
+	xmin := float64(tail[0])
+	var sum float64
+	for _, d := range tail {
+		sum += math.Log(float64(d) / xmin)
+	}
+	if sum == 0 {
+		return 0
+	}
+	return 1 + float64(len(tail))/sum
+}
+
+// isSymmetric reports whether for every edge (u,v) the edge (v,u) exists.
+// Runs in O(m log d) via binary search over sorted copies of the out-lists.
+func isSymmetric(g *Graph) bool {
+	if g.M() == 0 {
+		return true
+	}
+	// Sorted copy of each out-adjacency for binary search.
+	sortedOut := make([][]int32, g.N())
+	for v := int32(0); v < g.N(); v++ {
+		out := g.Out(v)
+		cp := make([]int32, len(out))
+		copy(cp, out)
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		sortedOut[v] = cp
+	}
+	sym := true
+	g.Edges(func(from, to int32) {
+		if !sym {
+			return
+		}
+		rev := sortedOut[to]
+		k := sort.Search(len(rev), func(i int) bool { return rev[i] >= from })
+		if k >= len(rev) || rev[k] != from {
+			sym = false
+		}
+	})
+	return sym
+}
+
+// String renders the stats as a single table row.
+func (s Stats) String() string {
+	kind := "directed"
+	if s.Symmetric {
+		kind = "undirected"
+	}
+	return fmt.Sprintf("n=%d m=%d avg_deg=%.2f max_in=%d dangling_in=%d type=%s alpha=%.2f",
+		s.N, s.M, s.AvgInDeg, s.MaxInDeg, s.DanglingIn, kind, s.PowerLawAlpha)
+}

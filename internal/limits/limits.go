@@ -1,0 +1,32 @@
+// Package limits holds resource-cap types shared by the index-based
+// engines and the experiment harness.
+package limits
+
+import (
+	"fmt"
+	"time"
+)
+
+// ErrIndexTooLarge is returned by an engine's Build when the index would
+// exceed the configured cap. The harness treats such settings exactly like
+// the paper treats out-of-memory configurations: it excludes them from the
+// figures.
+type ErrIndexTooLarge struct {
+	Need, Cap int64
+}
+
+func (e *ErrIndexTooLarge) Error() string {
+	return fmt.Sprintf("index would need ~%d bytes, cap is %d", e.Need, e.Cap)
+}
+
+// ErrQueryTimeout is returned by engines that support cooperative query
+// deadlines (SetQueryTimeout) when a query exceeds its budget. The harness
+// excludes the configuration, mirroring the paper's per-query time rule
+// (configurations over 1000 s are dropped).
+var ErrQueryTimeout = fmt.Errorf("query exceeded its time budget")
+
+// TimeoutSettable is implemented by engines whose long query loops check
+// a cooperative deadline.
+type TimeoutSettable interface {
+	SetQueryTimeout(budget time.Duration) // 0 disables
+}

@@ -1,0 +1,155 @@
+// Package mc implements Monte Carlo SimRank estimation via paired √c-walks.
+//
+// s(u,v) equals the probability that two independent √c-walks from u and v
+// meet (occupy the same node at the same step); see Eq. 5 of the SimPush
+// paper. Sampling that event directly yields an unbiased estimator, which
+// is how the paper generates ground truth (§5.1, following [21, 33]).
+package mc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/rnd"
+	"github.com/simrank/simpush/internal/walk"
+)
+
+// Estimator samples paired √c-walks on a fixed graph.
+type Estimator struct {
+	g *graph.Graph
+	c float64
+}
+
+// New returns an Estimator with decay factor c.
+func New(g *graph.Graph, c float64) *Estimator {
+	return &Estimator{g: g, c: c}
+}
+
+// Pair estimates s(u, v) from the given number of walk-pair samples.
+func (e *Estimator) Pair(u, v int32, samples int, seed uint64) float64 {
+	if u == v {
+		return 1
+	}
+	w := walk.NewWalker(e.g, e.c, rnd.New(seed))
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if w.Meet(u, v) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// PairParallel estimates s(u, v) splitting samples across all CPUs.
+func (e *Estimator) PairParallel(u, v int32, samples int, seed uint64) float64 {
+	if u == v {
+		return 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > samples {
+		workers = 1
+	}
+	per := samples / workers
+	results := make([]int, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			w := walk.NewWalker(e.g, e.c, rnd.New(seed+uint64(k)*0x9e3779b97f4a7c15+1))
+			n := per
+			if k == workers-1 {
+				n = samples - per*(workers-1)
+			}
+			hits := 0
+			for i := 0; i < n; i++ {
+				if w.Meet(u, v) {
+					hits++
+				}
+			}
+			results[k] = hits
+		}(k)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range results {
+		total += h
+	}
+	return float64(total) / float64(samples)
+}
+
+// Pairs estimates s(u, v) for every (u, v) pair with v in targets,
+// parallelizing across targets. Used by the pooled ground-truth protocol.
+func (e *Estimator) Pairs(u int32, targets []int32, samples int, seed uint64) []float64 {
+	out := make([]float64, len(targets))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			w := walk.NewWalker(e.g, e.c, rnd.New(seed^(uint64(k)+1)*0xd1342543de82ef95))
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if int(i) >= len(targets) {
+					return
+				}
+				v := targets[i]
+				if v == u {
+					out[i] = 1
+					continue
+				}
+				hits := 0
+				for s := 0; s < samples; s++ {
+					if w.Meet(u, v) {
+						hits++
+					}
+				}
+				out[i] = float64(hits) / float64(samples)
+			}
+		}(k)
+	}
+	wg.Wait()
+	return out
+}
+
+// SingleSource estimates the full SimRank row of u by running Pair against
+// every node. Θ(n·samples) walk pairs: only for small graphs and tests.
+func (e *Estimator) SingleSource(u int32, samples int, seed uint64) ([]float64, error) {
+	n := e.g.N()
+	if !e.g.HasNode(u) {
+		return nil, fmt.Errorf("mc: node %d out of range", u)
+	}
+	targets := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		targets[v] = v
+	}
+	return e.Pairs(u, targets, samples, seed), nil
+}
+
+// SamplesForError returns the Hoeffding sample count for additive error eps
+// with failure probability delta: n >= ln(2/δ)/(2ε²).
+func SamplesForError(eps, delta float64) int {
+	if eps <= 0 || delta <= 0 {
+		return 1
+	}
+	n := int(math.Log(2/delta) / (2 * eps * eps))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

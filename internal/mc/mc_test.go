@@ -1,0 +1,125 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/simrank/simpush/internal/exact"
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+)
+
+const c = 0.6
+
+func TestPairSelf(t *testing.T) {
+	g := gen.Cycle(4)
+	if got := New(g, c).Pair(2, 2, 10, 1); got != 1 {
+		t.Fatalf("s(v,v) = %v", got)
+	}
+}
+
+func TestPairSharedParent(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
+	got := New(g, c).Pair(1, 2, 200000, 7)
+	if math.Abs(got-c) > 0.01 {
+		t.Fatalf("MC s(1,2) = %v, want %v", got, c)
+	}
+}
+
+func TestPairParallelMatches(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
+	e := New(g, c)
+	got := e.PairParallel(1, 2, 200000, 11)
+	if math.Abs(got-c) > 0.01 {
+		t.Fatalf("parallel MC s(1,2) = %v, want %v", got, c)
+	}
+	if e.PairParallel(1, 1, 10, 1) != 1 {
+		t.Fatal("parallel self similarity")
+	}
+}
+
+// MC must agree with the exact power method on a random graph.
+func TestAgreesWithExact(t *testing.T) {
+	g, err := gen.CopyingModel(80, 4, 0.35, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.AllPairs(g, exact.Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g, c)
+	const samples = 60000
+	// check a handful of pairs including high-similarity ones
+	pairs := [][2]int32{{1, 2}, {10, 20}, {5, 50}, {30, 31}, {60, 61}, {3, 70}}
+	for _, p := range pairs {
+		got := e.Pair(p[0], p[1], samples, 13)
+		want := ex.At(p[0], p[1])
+		tol := 4*math.Sqrt(want*(1-want)/samples) + 0.004
+		if math.Abs(got-want) > tol {
+			t.Errorf("s(%d,%d): MC %v vs exact %v (tol %v)", p[0], p[1], got, want, tol)
+		}
+	}
+}
+
+func TestPairsVector(t *testing.T) {
+	g, err := gen.ErdosRenyi(50, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g, c)
+	targets := []int32{0, 5, 7, 7, 49}
+	got := e.Pairs(7, targets, 5000, 17)
+	if len(got) != len(targets) {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[2] != 1 || got[3] != 1 {
+		t.Fatal("self pair not 1")
+	}
+	for i, v := range got {
+		if v < 0 || v > 1 {
+			t.Fatalf("score %d out of range: %v", i, v)
+		}
+	}
+}
+
+func TestSingleSource(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2}, [2]int32{1, 3}, [2]int32{2, 4})
+	e := New(g, c)
+	row, err := e.SingleSource(3, 60000, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[3] != 1 {
+		t.Fatal("self != 1")
+	}
+	// s(3,4) = c² (two-hop chain, see exact tests)
+	if math.Abs(row[4]-c*c) > 0.01 {
+		t.Fatalf("s(3,4) = %v, want %v", row[4], c*c)
+	}
+	if _, err := e.SingleSource(-1, 10, 1); err == nil {
+		t.Fatal("negative node accepted")
+	}
+}
+
+func TestSamplesForError(t *testing.T) {
+	if n := SamplesForError(0.01, 0.01); n < 10000 {
+		t.Fatalf("too few samples: %d", n)
+	}
+	if n := SamplesForError(0, 0.5); n != 1 {
+		t.Fatalf("degenerate eps should clamp to 1, got %d", n)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	g, err := gen.ErdosRenyi(30, 150, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g, c)
+	a := e.Pair(1, 2, 10000, 42)
+	b := e.Pair(1, 2, 10000, 42)
+	if a != b {
+		t.Fatal("same seed produced different estimates")
+	}
+}

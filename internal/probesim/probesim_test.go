@@ -1,0 +1,199 @@
+package probesim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/simrank/simpush/internal/limits"
+
+	"github.com/simrank/simpush/internal/exact"
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+)
+
+const c = 0.6
+
+func TestParamValidation(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := New(g, Params{C: 1.2}); err == nil {
+		t.Fatal("c=1.2 accepted")
+	}
+	if _, err := New(g, Params{EpsA: 1.5}); err == nil {
+		t.Fatal("eps=1.5 accepted")
+	}
+}
+
+func TestInterfaceMetadata(t *testing.T) {
+	g := gen.Cycle(4)
+	e, err := New(g, Params{EpsA: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "ProbeSim" || e.Indexed() {
+		t.Fatal("metadata wrong")
+	}
+	if e.Setting() == "" || e.IndexBytes() <= 0 {
+		t.Fatal("setting/memory missing")
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumWalks() < 1 {
+		t.Fatal("no walks")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	g := gen.Cycle(4)
+	e, err := New(g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(99); err == nil {
+		t.Fatal("bad node accepted")
+	}
+}
+
+func TestSelfScore(t *testing.T) {
+	g, err := gen.ErdosRenyi(50, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Params{EpsA: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Query(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[7] != 1 {
+		t.Fatal("self score != 1")
+	}
+}
+
+func TestCycleZero(t *testing.T) {
+	g := gen.Cycle(10)
+	e, err := New(g, Params{EpsA: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 10; v++ {
+		if s[v] != 0 {
+			t.Fatalf("cycle s(0,%d) = %v", v, s[v])
+		}
+	}
+}
+
+func TestSharedParent(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
+	e, err := New(g, Params{EpsA: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s[2]-c) > 0.05 {
+		t.Fatalf("s(1,2) = %v, want %v", s[2], c)
+	}
+}
+
+func TestAccuracyVsExact(t *testing.T) {
+	g, err := gen.CopyingModel(120, 5, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.AllPairs(g, exact.Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epsA = 0.05
+	e, err := New(g, Params{EpsA: epsA, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []int32{3, 40, 99} {
+		s, err := e.Query(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for v := int32(0); v < g.N(); v++ {
+			if v == u {
+				continue
+			}
+			if d := math.Abs(ex.At(u, v) - s[v]); d > worst {
+				worst = d
+			}
+		}
+		// εa plus slack for the probe pruning bias and sampling noise.
+		if worst > epsA+0.02 {
+			t.Fatalf("u=%d worst error %v exceeds %v", u, worst, epsA)
+		}
+	}
+}
+
+func TestWalkCap(t *testing.T) {
+	g := gen.Cycle(10)
+	e, err := New(g, Params{EpsA: 0.005, WalkCap: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumWalks() != 100 {
+		t.Fatalf("walk cap ignored: %d", e.NumWalks())
+	}
+}
+
+func TestFinerEpsMoreWalks(t *testing.T) {
+	g := gen.Cycle(10)
+	a, _ := New(g, Params{EpsA: 0.1})
+	b, _ := New(g, Params{EpsA: 0.01})
+	if b.NumWalks() <= a.NumWalks() {
+		t.Fatalf("finer eps should need more walks: %d vs %d", b.NumWalks(), a.NumWalks())
+	}
+}
+
+func BenchmarkQuery10k(b *testing.B) {
+	g, err := gen.CopyingModel(10000, 8, 0.3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(g, Params{EpsA: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(int32(i) % g.N()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	g, err := gen.CopyingModel(3000, 8, 0.3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Params{EpsA: 0.005, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetQueryTimeout(time.Millisecond)
+	if _, err := e.Query(5); !errors.Is(err, limits.ErrQueryTimeout) {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+	// disabling the budget makes the query run again
+	e.SetQueryTimeout(0)
+	if _, err := e.Query(5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package push provides the reverse (backward) residue-propagation
+// primitive shared by several SimRank algorithms: given a target node w,
+// it computes hitting probabilities h^(d)(v, w) — the probability that a
+// √c-walk from v reaches w at exactly step d — for all v, level by level.
+//
+// A √c-walk moves from a node to a uniformly random in-neighbor, so paths
+// into w are enumerated from w along out-edges: layer d+1 receives
+// √c·layer_d(x)/d_I(y) for every out-neighbor y of x.
+//
+// ProbeSim probes, SLING/PRSim index construction and TopSim scoring are
+// all built on this primitive.
+package push
+
+import (
+	"math"
+
+	"github.com/simrank/simpush/internal/graph"
+)
+
+// Prober owns the dense scratch for reverse pushes over one graph.
+// Not safe for concurrent use.
+type Prober struct {
+	g          *graph.Graph
+	sqrtC      float64
+	cur, nxt   []float64
+	curT, nxtT []int32
+	// report buffers reused across layers; valid only during onLayer.
+	repNodes []int32
+	repVals  []float64
+}
+
+// NewProber returns a Prober for g with SimRank decay factor c.
+func NewProber(g *graph.Graph, c float64) *Prober {
+	return &Prober{
+		g:     g,
+		sqrtC: math.Sqrt(c),
+		cur:   make([]float64, g.N()),
+		nxt:   make([]float64, g.N()),
+	}
+}
+
+// MemoryBytes reports the scratch footprint.
+func (p *Prober) MemoryBytes() int64 {
+	return int64(len(p.cur)+len(p.nxt)) * 8
+}
+
+// Push seeds layer 0 with value 1 at w and propagates `levels` steps.
+// After computing each layer d (1 ≤ d ≤ levels) it invokes
+// onLayer(d, nodes, vals); the slices are only valid during the callback.
+//
+// threshold prunes entries below it during propagation (0 disables).
+// excludeAt, if non-nil, names one node per layer whose mass is removed
+// after the layer is reported — the first-meeting exclusion of ProbeSim
+// (return a negative node to exclude nothing). The excluded node is zeroed
+// before the layer is reported, since walks through it met earlier.
+func (p *Prober) Push(w int32, levels int, threshold float64,
+	excludeAt func(d int) int32, onLayer func(d int, nodes []int32, vals []float64)) {
+	p.PushSeeds([]int32{w}, []float64{1}, levels, threshold, excludeAt, onLayer)
+}
+
+// PushSeeds is Push with arbitrary initial mass on several seed nodes
+// (layer 0). It is the multi-source form used by TopSim-style scoring.
+func (p *Prober) PushSeeds(seeds []int32, mass []float64, levels int, threshold float64,
+	excludeAt func(d int) int32, onLayer func(d int, nodes []int32, vals []float64)) {
+	cur, nxt := p.cur, p.nxt
+	curT, nxtT := p.curT[:0], p.nxtT[:0]
+	for i, s := range seeds {
+		if mass[i] == 0 {
+			continue
+		}
+		if cur[s] == 0 {
+			curT = append(curT, s)
+		}
+		cur[s] += mass[i]
+	}
+	for d := 1; d <= levels && len(curT) > 0; d++ {
+		for _, x := range curT {
+			val := cur[x]
+			cur[x] = 0
+			if val < threshold {
+				continue
+			}
+			pv := p.sqrtC * val
+			for _, y := range p.g.Out(x) {
+				if nxt[y] == 0 {
+					nxtT = append(nxtT, y)
+				}
+				nxt[y] += pv / float64(p.g.InDeg(y))
+			}
+		}
+		curT = curT[:0]
+		cur, nxt = nxt, cur
+		curT, nxtT = nxtT, curT
+
+		if excludeAt != nil {
+			if ex := excludeAt(d); ex >= 0 && cur[ex] != 0 {
+				cur[ex] = 0
+				// The touched list keeps the entry; zero value is skipped
+				// by consumers and by the next propagation round.
+			}
+		}
+		if onLayer != nil {
+			p.reportLayer(d, cur, curT, onLayer)
+		}
+	}
+	// Clear any remaining mass so the scratch is clean for the next call.
+	for _, x := range curT {
+		cur[x] = 0
+	}
+	p.cur, p.nxt = cur, nxt
+	p.curT, p.nxtT = curT[:0], nxtT[:0]
+}
+
+// reportLayer invokes onLayer with compacted (nodes, vals) slices. The
+// slices are reused across layers; callers must not retain them.
+func (p *Prober) reportLayer(d int, cur []float64, curT []int32, onLayer func(int, []int32, []float64)) {
+	nodes := p.repNodes[:0]
+	vals := p.repVals[:0]
+	for _, v := range curT {
+		if cur[v] != 0 {
+			nodes = append(nodes, v)
+			vals = append(vals, cur[v])
+		}
+	}
+	p.repNodes, p.repVals = nodes, vals
+	onLayer(d, nodes, vals)
+}
+
+// MaxLevels returns the deepest level worth probing for contribution
+// threshold eps: beyond L = ⌈log_{1/√c}(1/eps)⌉ every hitting probability
+// is below eps.
+func MaxLevels(c, eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		return 1
+	}
+	sqrtC := math.Sqrt(c)
+	l := int(math.Ceil(math.Log(1/eps) / math.Log(1/sqrtC)))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}

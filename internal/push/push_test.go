@@ -1,0 +1,213 @@
+package push
+
+import (
+	"math"
+	"testing"
+
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+)
+
+const c = 0.6
+
+// On the shared-parent graph 0->1, 0->2: h^(1)(1, 0) = √c (walk from 1 has
+// a single in-neighbor 0).
+func TestPushSingleLevel(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
+	p := NewProber(g, c)
+	got := map[int32]float64{}
+	p.Push(0, 1, 0, nil, func(d int, nodes []int32, vals []float64) {
+		if d != 1 {
+			t.Fatalf("unexpected layer %d", d)
+		}
+		for i, v := range nodes {
+			got[v] = vals[i]
+		}
+	})
+	sqrtC := math.Sqrt(c)
+	if math.Abs(got[1]-sqrtC) > 1e-12 || math.Abs(got[2]-sqrtC) > 1e-12 {
+		t.Fatalf("layer 1 = %v, want √c at both children", got)
+	}
+}
+
+// Two-hop chain: 0->1->3 and 0->2->4. h^(2)(3, 0) = c.
+func TestPushTwoLevels(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2}, [2]int32{1, 3}, [2]int32{2, 4})
+	p := NewProber(g, c)
+	var l2 map[int32]float64
+	p.Push(0, 2, 0, nil, func(d int, nodes []int32, vals []float64) {
+		if d == 2 {
+			l2 = map[int32]float64{}
+			for i, v := range nodes {
+				l2[v] = vals[i]
+			}
+		}
+	})
+	if math.Abs(l2[3]-c) > 1e-12 || math.Abs(l2[4]-c) > 1e-12 {
+		t.Fatalf("layer 2 = %v, want c", l2)
+	}
+}
+
+// Cross-check Push against a direct forward computation of h^(d)(v, w) on a
+// random graph: h^(d)(v, w) computed by pushing from v along in-edges.
+func TestPushMatchesForwardHitting(t *testing.T) {
+	g, err := gen.ErdosRenyi(60, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqrtC := math.Sqrt(c)
+	// forward[d][x] = h^(d)(v0, x) via in-edge propagation from v0.
+	const v0 = int32(7)
+	const depth = 4
+	forward := make([][]float64, depth+1)
+	forward[0] = make([]float64, g.N())
+	forward[0][v0] = 1
+	for d := 0; d < depth; d++ {
+		nxt := make([]float64, g.N())
+		for x := int32(0); x < g.N(); x++ {
+			if forward[d][x] == 0 {
+				continue
+			}
+			in := g.In(x)
+			if len(in) == 0 {
+				continue
+			}
+			w := sqrtC * forward[d][x] / float64(len(in))
+			for _, y := range in {
+				nxt[y] += w
+			}
+		}
+		forward[d+1] = nxt
+	}
+	// Pick a few targets w; Push from w must reproduce forward[d][w] at v0.
+	p := NewProber(g, c)
+	for _, w := range []int32{0, 13, 42} {
+		byLayer := make([]map[int32]float64, depth+1)
+		p.Push(w, depth, 0, nil, func(d int, nodes []int32, vals []float64) {
+			m := map[int32]float64{}
+			for i, v := range nodes {
+				m[v] = vals[i]
+			}
+			byLayer[d] = m
+		})
+		for d := 1; d <= depth; d++ {
+			want := forward[d][w]
+			got := 0.0
+			if byLayer[d] != nil {
+				got = byLayer[d][v0]
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("h^(%d)(%d,%d): push %v forward %v", d, v0, w, got, want)
+			}
+		}
+	}
+}
+
+func TestPushThresholdPrunes(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProber(g, c)
+	full, pruned := 0, 0
+	p.Push(0, 3, 0, nil, func(d int, nodes []int32, vals []float64) { full += len(nodes) })
+	p.Push(0, 3, 0.1, nil, func(d int, nodes []int32, vals []float64) { pruned += len(nodes) })
+	if pruned >= full {
+		t.Fatalf("threshold did not prune: %d vs %d", pruned, full)
+	}
+}
+
+func TestPushExclusion(t *testing.T) {
+	// Walks from node 0 reach 3 in two steps along in-edges via 1 or via 2,
+	// which requires edges 3->1, 1->0, 3->2, 2->0. Excluding node 1 at
+	// reverse layer 1 removes exactly half of h^(2)(0, 3).
+	g := graph.MustFromPairs([2]int32{3, 1}, [2]int32{1, 0}, [2]int32{3, 2}, [2]int32{2, 0})
+	p := NewProber(g, c)
+	endVal := func(exclude func(int) int32) float64 {
+		var got float64
+		p.Push(3, 2, 0, exclude, func(d int, nodes []int32, vals []float64) {
+			if d != 2 {
+				return
+			}
+			for i, v := range nodes {
+				if v == 0 {
+					got = vals[i]
+				}
+			}
+		})
+		return got
+	}
+	full := endVal(nil)
+	half := endVal(func(d int) int32 {
+		if d == 1 {
+			return 1 // remove the path through node 1
+		}
+		return -1
+	})
+	if math.Abs(full-2*half) > 1e-12 || half == 0 {
+		t.Fatalf("exclusion wrong: full=%v half=%v", full, half)
+	}
+}
+
+func TestPushSeedsLinearity(t *testing.T) {
+	g, err := gen.CopyingModel(100, 4, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProber(g, c)
+	collect := func(seeds []int32, mass []float64) map[int32]float64 {
+		out := map[int32]float64{}
+		p.PushSeeds(seeds, mass, 2, 0, nil, func(d int, nodes []int32, vals []float64) {
+			if d == 2 {
+				for i, v := range nodes {
+					out[v] = vals[i]
+				}
+			}
+		})
+		return out
+	}
+	a := collect([]int32{5}, []float64{1})
+	b := collect([]int32{9}, []float64{1})
+	ab := collect([]int32{5, 9}, []float64{1, 1})
+	for v, val := range ab {
+		if math.Abs(val-(a[v]+b[v])) > 1e-12 {
+			t.Fatalf("linearity violated at %d: %v vs %v + %v", v, val, a[v], b[v])
+		}
+	}
+}
+
+func TestScratchCleanAcrossCalls(t *testing.T) {
+	g, err := gen.CopyingModel(100, 4, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProber(g, c)
+	sum := func() float64 {
+		var s float64
+		p.Push(3, 3, 0, nil, func(d int, nodes []int32, vals []float64) {
+			for _, v := range vals {
+				s += v
+			}
+		})
+		return s
+	}
+	a := sum()
+	// Interleave a different probe, then repeat.
+	p.Push(7, 5, 0, nil, nil)
+	b := sum()
+	if a != b {
+		t.Fatalf("scratch leaked state: %v vs %v", a, b)
+	}
+}
+
+func TestMaxLevels(t *testing.T) {
+	if l := MaxLevels(0.6, 0.02); l < 10 || l > 25 {
+		t.Fatalf("MaxLevels(0.6, 0.02) = %d", l)
+	}
+	if l := MaxLevels(0.6, 0); l != 1 {
+		t.Fatalf("degenerate eps: %d", l)
+	}
+	if MaxLevels(0.6, 0.9) < 1 {
+		t.Fatal("MaxLevels must be >= 1")
+	}
+}

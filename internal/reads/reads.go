@@ -1,0 +1,207 @@
+// Package reads implements READS (Jiang et al., PVLDB 2017 [12]), the
+// random-walk-index baseline (its static variant, the fastest of the three
+// algorithms in the paper, which is what the SimPush evaluation uses).
+//
+// Build samples r √c-walks of depth at most t from every node. The walks
+// of one sample group are stored as inverted buckets keyed by (step, node):
+// bucket(i, ℓ, w) lists every source v whose i-th walk visits w at step ℓ —
+// the flattened equivalent of READS' SA-forest, with identical query
+// semantics. A query retrieves u's i-th walk and harvests the buckets along
+// it; the first coincidence per (v, i) is a meeting, so
+//
+//	s̃(u,v) = (1/r)·|{i : walk_i(u) first-meets walk_i(v)}|.
+//
+// Index memory is Θ(n·r·E[min(len,t)]) — the reason READS runs out of
+// memory on large graphs in the paper's experiments.
+package reads
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/limits"
+	"github.com/simrank/simpush/internal/rnd"
+	"github.com/simrank/simpush/internal/walk"
+)
+
+// Params configures READS. The paper sweeps (R, T) over
+// {(10,2), (50,5), (100,10), (500,10), (1000,20)}.
+type Params struct {
+	C    float64
+	R    int // walks per node; default 100
+	T    int // max walk depth; default 10
+	Seed uint64
+	// MaxIndexBytes aborts Build with limits.ErrIndexTooLarge (0 = off).
+	MaxIndexBytes int64
+}
+
+func (p *Params) fill() {
+	if p.C == 0 {
+		p.C = 0.6
+	}
+	if p.R == 0 {
+		p.R = 100
+	}
+	if p.T == 0 {
+		p.T = 10
+	}
+}
+
+// bucketGroup holds, for one (sample i, step ℓ), all (w, v) pairs sorted by
+// w: positions[lo:hi] are the sources v whose walk visits w at this step.
+type bucketGroup struct {
+	walkNode []int32 // sorted walk positions w (one per source, duplicated)
+	source   []int32 // parallel: the source v
+}
+
+// Engine is a READS engine; Build must run before Query.
+type Engine struct {
+	g     *graph.Graph
+	p     Params
+	built bool
+
+	// uWalks[i] is the concatenated walk array for sample i of every node:
+	// uWalkOff[i][v]..uWalkOff[i][v+1] is v's walk (steps 1..len).
+	uWalkOff [][]int32
+	uWalks   [][]int32
+	// buckets[i][ℓ-1] is the inverted index for sample i, step ℓ.
+	buckets [][]bucketGroup
+
+	met      []int32 // per-query stamp array for first-meeting tracking
+	metStamp int32
+}
+
+// New returns an unbuilt READS engine.
+func New(g *graph.Graph, p Params) (*Engine, error) {
+	p.fill()
+	if p.C <= 0 || p.C >= 1 {
+		return nil, fmt.Errorf("reads: c must be in (0,1), got %v", p.C)
+	}
+	if p.R < 1 || p.T < 1 {
+		return nil, fmt.Errorf("reads: need R >= 1 and T >= 1")
+	}
+	return &Engine{g: g, p: p}, nil
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "READS" }
+
+// Setting implements engine.Engine.
+func (e *Engine) Setting() string { return fmt.Sprintf("r=%d,t=%d", e.p.R, e.p.T) }
+
+// Indexed implements engine.Engine.
+func (e *Engine) Indexed() bool { return true }
+
+// IndexBytes implements engine.Engine.
+func (e *Engine) IndexBytes() int64 {
+	var b int64
+	for i := range e.uWalks {
+		b += int64(len(e.uWalks[i]))*4 + int64(len(e.uWalkOff[i]))*4
+	}
+	for i := range e.buckets {
+		for _, bg := range e.buckets[i] {
+			b += int64(len(bg.walkNode))*4 + int64(len(bg.source))*4
+		}
+	}
+	b += int64(len(e.met)) * 4
+	return b
+}
+
+// Build samples the walk index.
+func (e *Engine) Build() error {
+	n := e.g.N()
+	// Projected size: n·R·E[len]·8B. E[len] ≈ min(√c/(1-√c), T).
+	expLen := 0.9 / (1 - 0.775) // √c/(1-√c) for c=0.6 ≈ 3.44, conservative
+	if float64(e.p.T) < expLen {
+		expLen = float64(e.p.T)
+	}
+	projected := int64(float64(n) * float64(e.p.R) * expLen * 8)
+	if e.p.MaxIndexBytes > 0 && projected > e.p.MaxIndexBytes {
+		return &limits.ErrIndexTooLarge{Need: projected, Cap: e.p.MaxIndexBytes}
+	}
+
+	w := walk.NewWalker(e.g, e.p.C, rnd.New(e.p.Seed^0x5ca1ab1edeadbeef))
+	e.uWalkOff = make([][]int32, e.p.R)
+	e.uWalks = make([][]int32, e.p.R)
+	e.buckets = make([][]bucketGroup, e.p.R)
+	var size int64
+	for i := 0; i < e.p.R; i++ {
+		off := make([]int32, n+1)
+		var flat []int32
+		perStep := make([][]int32, e.p.T) // (w, v) pair lists per step
+		for v := int32(0); v < n; v++ {
+			steps := w.SampleTruncated(v, e.p.T)
+			off[v+1] = off[v] + int32(len(steps))
+			flat = append(flat, steps...)
+			for l, node := range steps {
+				perStep[l] = append(perStep[l], node, v)
+			}
+		}
+		e.uWalkOff[i] = off
+		e.uWalks[i] = flat
+		groups := make([]bucketGroup, e.p.T)
+		for l := 0; l < e.p.T; l++ {
+			pairs := perStep[l]
+			k := len(pairs) / 2
+			idx := make([]int32, k)
+			for j := range idx {
+				idx[j] = int32(j)
+			}
+			sort.Slice(idx, func(a, b int) bool {
+				return pairs[2*idx[a]] < pairs[2*idx[b]]
+			})
+			bg := bucketGroup{
+				walkNode: make([]int32, k),
+				source:   make([]int32, k),
+			}
+			for j, id := range idx {
+				bg.walkNode[j] = pairs[2*id]
+				bg.source[j] = pairs[2*id+1]
+			}
+			groups[l] = bg
+			size += int64(k) * 8
+		}
+		e.buckets[i] = groups
+		if e.p.MaxIndexBytes > 0 && size > e.p.MaxIndexBytes {
+			e.uWalkOff, e.uWalks, e.buckets = nil, nil, nil
+			return &limits.ErrIndexTooLarge{Need: size, Cap: e.p.MaxIndexBytes}
+		}
+	}
+	e.met = make([]int32, n)
+	e.built = true
+	return nil
+}
+
+// Query intersects u's stored walks with the inverted buckets.
+func (e *Engine) Query(u int32) ([]float64, error) {
+	if !e.built {
+		return nil, fmt.Errorf("reads: Query before Build")
+	}
+	if !e.g.HasNode(u) {
+		return nil, fmt.Errorf("reads: node %d out of range", u)
+	}
+	n := e.g.N()
+	scores := make([]float64, n)
+	inc := 1 / float64(e.p.R)
+	for i := 0; i < e.p.R; i++ {
+		e.metStamp++
+		stamp := e.metStamp
+		off := e.uWalkOff[i]
+		myWalk := e.uWalks[i][off[u]:off[u+1]]
+		for l, wNode := range myWalk {
+			bg := &e.buckets[i][l]
+			lo := sort.Search(len(bg.walkNode), func(j int) bool { return bg.walkNode[j] >= wNode })
+			for j := lo; j < len(bg.walkNode) && bg.walkNode[j] == wNode; j++ {
+				v := bg.source[j]
+				if v == u || e.met[v] == stamp {
+					continue
+				}
+				e.met[v] = stamp
+				scores[v] += inc
+			}
+		}
+	}
+	scores[u] = 1
+	return scores, nil
+}

@@ -1,0 +1,166 @@
+package reads
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/simrank/simpush/internal/exact"
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/limits"
+)
+
+const c = 0.6
+
+func built(t testing.TB, g *graph.Graph, p Params) *Engine {
+	t.Helper()
+	e, err := New(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestValidation(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := New(g, Params{C: 3}); err == nil {
+		t.Fatal("c=3 accepted")
+	}
+	if _, err := New(g, Params{R: -1}); err == nil {
+		t.Fatal("R=-1 accepted")
+	}
+	e, err := New(g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(0); err == nil {
+		t.Fatal("query before build accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	e := built(t, gen.Cycle(5), Params{R: 10, T: 3, Seed: 1})
+	if e.Name() != "READS" || !e.Indexed() || e.Setting() == "" {
+		t.Fatal("metadata wrong")
+	}
+	if e.IndexBytes() <= 0 {
+		t.Fatal("index bytes missing")
+	}
+	if _, err := e.Query(55); err == nil {
+		t.Fatal("bad node accepted")
+	}
+}
+
+func TestSharedParent(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
+	e := built(t, g, Params{R: 5000, T: 5, Seed: 2})
+	s, err := e.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s[2]-c) > 0.03 {
+		t.Fatalf("s(1,2) = %v, want %v", s[2], c)
+	}
+	if s[1] != 1 {
+		t.Fatal("self score")
+	}
+}
+
+func TestCycleZero(t *testing.T) {
+	e := built(t, gen.Cycle(10), Params{R: 200, T: 10, Seed: 3})
+	s, err := e.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 10; v++ {
+		if s[v] != 0 {
+			t.Fatalf("cycle s(0,%d) = %v", v, s[v])
+		}
+	}
+}
+
+func TestAccuracyVsExact(t *testing.T) {
+	g, err := gen.CopyingModel(120, 5, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.AllPairs(g, exact.Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := built(t, g, Params{R: 2000, T: 12, Seed: 5})
+	for _, u := range []int32{3, 40, 99} {
+		s, err := e.Query(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst, sum float64
+		for v := int32(0); v < g.N(); v++ {
+			if v == u {
+				continue
+			}
+			d := math.Abs(ex.At(u, v) - s[v])
+			sum += d
+			if d > worst {
+				worst = d
+			}
+		}
+		if avg := sum / float64(g.N()-1); avg > 0.01 {
+			t.Fatalf("u=%d: avg error %v", u, avg)
+		}
+		if worst > 0.06 { // sampling std at R=2000 is ~0.011
+			t.Fatalf("u=%d: worst error %v", u, worst)
+		}
+	}
+}
+
+func TestFirstMeetingOnly(t *testing.T) {
+	// Complete graph: repeated meetings are common; READS must still count
+	// each sample at most once (scores bounded by 1).
+	e := built(t, gen.Complete(20), Params{R: 500, T: 10, Seed: 7})
+	s, err := e.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, val := range s {
+		if val < 0 || val > 1 {
+			t.Fatalf("score[%d] = %v out of [0,1]", v, val)
+		}
+	}
+}
+
+func TestIndexCap(t *testing.T) {
+	g, err := gen.CopyingModel(1000, 5, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Params{R: 1000, T: 20, MaxIndexBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Build()
+	var tooBig *limits.ErrIndexTooLarge
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("expected ErrIndexTooLarge, got %v", err)
+	}
+}
+
+func TestDeterministicIndex(t *testing.T) {
+	g, err := gen.ErdosRenyi(50, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := built(t, g, Params{R: 50, T: 5, Seed: 42})
+	b := built(t, g, Params{R: 50, T: 5, Seed: 42})
+	sa, _ := a.Query(7)
+	sb, _ := b.Query(7)
+	for v := range sa {
+		if sa[v] != sb[v] {
+			t.Fatal("same seed produced different indexes")
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package sling implements SLING (Tian & Xiao, SIGMOD 2016 [31]), the
+// index-based baseline built on the decomposition
+//
+//	s(u,v) = Σ_ℓ Σ_w h^(ℓ)(u,w) · η(w) · h^(ℓ)(v,w)   (Eq. 3)
+//
+// The index materializes (i) η(w) — the probability that two independent
+// √c-walks from w never meet — estimated by paired-walk sampling for every
+// node, and (ii) per-node reverse lists {(ℓ, v, h^(ℓ)(v,w)) : h ≥ ε_a}
+// computed by backward pushes. Queries run a forward push from u and join
+// the lists. As the paper observes, the index is an order of magnitude
+// larger than the graph and must be rebuilt on every update — the
+// motivation for index-free SimPush.
+package sling
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/limits"
+	"github.com/simrank/simpush/internal/push"
+	"github.com/simrank/simpush/internal/rnd"
+	"github.com/simrank/simpush/internal/walk"
+)
+
+// Params configures SLING. EpsA is the absolute error knob swept by the
+// paper ({0.5, 0.1, 0.05, 0.01, 0.005}).
+type Params struct {
+	C     float64 // decay factor; default 0.6
+	EpsA  float64 // error parameter; default 0.1
+	Delta float64 // failure probability; default 1e-4
+	Seed  uint64
+	// EtaSamples caps the paired-walk sample size per node for η
+	// estimation. The theoretical count (∝1/ε²) is impractical for every
+	// node of a large graph — the exact reason SLING preprocessing is
+	// heavy; default 5000.
+	EtaSamples int
+	// MaxIndexBytes aborts Build with limits.ErrIndexTooLarge when the
+	// reverse lists exceed the cap (0 = unlimited). Mirrors the paper's
+	// exclusion of out-of-memory configurations.
+	MaxIndexBytes int64
+}
+
+func (p *Params) fill() {
+	if p.C == 0 {
+		p.C = 0.6
+	}
+	if p.EpsA == 0 {
+		p.EpsA = 0.1
+	}
+	if p.Delta == 0 {
+		p.Delta = 1e-4
+	}
+	if p.EtaSamples == 0 {
+		p.EtaSamples = 5000
+	}
+}
+
+// entry is one reverse-list element: h^(level)(v, w) for the owning w.
+type entry struct {
+	level int32
+	v     int32
+	h     float64
+}
+
+// Engine is a SLING engine; Build must be called before Query.
+type Engine struct {
+	g *graph.Graph
+	p Params
+
+	maxDepth int
+	built    bool
+
+	eta []float64 // η(w) per node
+	// reverse lists in CSR form: entries[off[w]:off[w+1]] belong to w.
+	off     []int64
+	entries []entry
+
+	// query scratch
+	cur, nxt   []float64
+	curT, nxtT []int32
+}
+
+// New returns an unbuilt SLING engine.
+func New(g *graph.Graph, p Params) (*Engine, error) {
+	p.fill()
+	if p.C <= 0 || p.C >= 1 {
+		return nil, fmt.Errorf("sling: c must be in (0,1), got %v", p.C)
+	}
+	if p.EpsA <= 0 || p.EpsA >= 1 {
+		return nil, fmt.Errorf("sling: eps_a must be in (0,1), got %v", p.EpsA)
+	}
+	return &Engine{g: g, p: p, maxDepth: push.MaxLevels(p.C, p.EpsA)}, nil
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "SLING" }
+
+// Setting implements engine.Engine.
+func (e *Engine) Setting() string { return fmt.Sprintf("eps_a=%g", e.p.EpsA) }
+
+// Indexed implements engine.Engine.
+func (e *Engine) Indexed() bool { return true }
+
+// IndexBytes implements engine.Engine.
+func (e *Engine) IndexBytes() int64 {
+	return int64(len(e.eta))*8 + int64(len(e.off))*8 + int64(len(e.entries))*16 +
+		int64(len(e.cur)+len(e.nxt))*8
+}
+
+// etaSampleCount returns the paired-walk samples per node: the Hoeffding
+// count for ±ε_a/2 capped at EtaSamples.
+func (e *Engine) etaSampleCount() int {
+	n := float64(e.g.N())
+	if n < 2 {
+		n = 2
+	}
+	half := e.p.EpsA / 2
+	cnt := int(math.Ceil(math.Log(2*n/e.p.Delta) / (2 * half * half)))
+	if cnt > e.p.EtaSamples {
+		cnt = e.p.EtaSamples
+	}
+	if cnt < 16 {
+		cnt = 16
+	}
+	return cnt
+}
+
+// Build constructs the η table and the reverse lists. It parallelizes
+// across nodes (preprocessing time is reported separately from queries).
+func (e *Engine) Build() error {
+	n := e.g.N()
+	e.eta = make([]float64, n)
+	etaCnt := e.etaSampleCount()
+
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := int(n)/workers + 1
+	for k := 0; k < workers; k++ {
+		lo := int32(k * chunk)
+		hi := lo + int32(chunk)
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int32, seed uint64) {
+			defer wg.Done()
+			w := walk.NewWalker(e.g, e.p.C, rnd.New(seed))
+			for v := lo; v < hi; v++ {
+				never := 0
+				for s := 0; s < etaCnt; s++ {
+					if !meetAfterSplit(w, v) {
+						never++
+					}
+				}
+				e.eta[v] = float64(never) / float64(etaCnt)
+			}
+		}(lo, hi, e.p.Seed+uint64(k)*0x9e3779b97f4a7c15+7)
+	}
+	wg.Wait()
+
+	// Reverse lists via per-node backward pushes, parallel with private
+	// probers, then stitched into CSR.
+	lists := make([][]entry, n)
+	var sizeApprox int64
+	var sizeMu sync.Mutex
+	var buildErr error
+	var next int32
+	var nextMu sync.Mutex
+	wg = sync.WaitGroup{}
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pr := push.NewProber(e.g, e.p.C)
+			for {
+				nextMu.Lock()
+				v := next
+				next++
+				nextMu.Unlock()
+				if v >= n {
+					return
+				}
+				var list []entry
+				pr.Push(v, e.maxDepth, e.p.EpsA, nil, func(d int, nodes []int32, vals []float64) {
+					for i, node := range nodes {
+						if vals[i] >= e.p.EpsA {
+							list = append(list, entry{level: int32(d), v: node, h: vals[i]})
+						}
+					}
+				})
+				lists[v] = list
+				sizeMu.Lock()
+				sizeApprox += int64(len(list)) * 16
+				if e.p.MaxIndexBytes > 0 && sizeApprox > e.p.MaxIndexBytes && buildErr == nil {
+					buildErr = &limits.ErrIndexTooLarge{Need: sizeApprox, Cap: e.p.MaxIndexBytes}
+				}
+				over := buildErr != nil
+				sizeMu.Unlock()
+				if over {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if buildErr != nil {
+		e.eta, e.entries, e.off = nil, nil, nil
+		return buildErr
+	}
+
+	e.off = make([]int64, n+1)
+	total := 0
+	for v := int32(0); v < n; v++ {
+		total += len(lists[v])
+		e.off[v+1] = int64(total)
+	}
+	e.entries = make([]entry, 0, total)
+	for v := int32(0); v < n; v++ {
+		e.entries = append(e.entries, lists[v]...)
+	}
+	e.cur = make([]float64, n)
+	e.nxt = make([]float64, n)
+	e.built = true
+	return nil
+}
+
+// meetAfterSplit simulates two independent √c-walks from v and reports
+// whether they ever coincide at the same step (after step 0).
+func meetAfterSplit(w *walk.Walker, v int32) bool {
+	a, b := v, v
+	for {
+		na, okA := w.Next(a)
+		nb, okB := w.Next(b)
+		if !okA || !okB {
+			return false
+		}
+		a, b = na, nb
+		if a == b {
+			return true
+		}
+	}
+}
+
+// Query runs a forward push from u and joins the reverse lists.
+func (e *Engine) Query(u int32) ([]float64, error) {
+	if !e.built {
+		return nil, fmt.Errorf("sling: Query before Build")
+	}
+	if !e.g.HasNode(u) {
+		return nil, fmt.Errorf("sling: node %d out of range", u)
+	}
+	scores := make([]float64, e.g.N())
+	cur, nxt := e.cur, e.nxt
+	curT, nxtT := e.curT[:0], e.nxtT[:0]
+	cur[u] = 1
+	curT = append(curT, u)
+	for l := 1; l <= e.maxDepth && len(curT) > 0; l++ {
+		// advance the forward push one level: h^(l)(u, ·)
+		for _, v := range curT {
+			hv := cur[v]
+			cur[v] = 0
+			if hv < e.p.EpsA && l > 1 {
+				continue
+			}
+			in := e.g.In(v)
+			if len(in) == 0 {
+				continue
+			}
+			wgt := math.Sqrt(e.p.C) * hv / float64(len(in))
+			for _, vp := range in {
+				if nxt[vp] == 0 {
+					nxtT = append(nxtT, vp)
+				}
+				nxt[vp] += wgt
+			}
+		}
+		curT = curT[:0]
+		cur, nxt = nxt, cur
+		curT, nxtT = nxtT, curT
+		// join: for each significant w at level l, add h_u·η(w)·h_v
+		for _, w := range curT {
+			hu := cur[w]
+			if hu < e.p.EpsA {
+				continue
+			}
+			factor := hu * e.eta[w]
+			for _, ent := range e.entries[e.off[w]:e.off[w+1]] {
+				if ent.level == int32(l) {
+					scores[ent.v] += factor * ent.h
+				}
+			}
+		}
+	}
+	for _, v := range curT {
+		cur[v] = 0
+	}
+	e.cur, e.nxt = cur, nxt
+	e.curT, e.nxtT = curT[:0], nxtT[:0]
+	scores[u] = 1
+	return scores, nil
+}

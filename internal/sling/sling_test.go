@@ -1,0 +1,150 @@
+package sling
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/simrank/simpush/internal/exact"
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/limits"
+)
+
+const c = 0.6
+
+func built(t testing.TB, g *graph.Graph, p Params) *Engine {
+	t.Helper()
+	e, err := New(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestValidation(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := New(g, Params{C: 2}); err == nil {
+		t.Fatal("c=2 accepted")
+	}
+	if _, err := New(g, Params{EpsA: -1}); err == nil {
+		t.Fatal("eps=-1 accepted")
+	}
+	e, err := New(g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(0); err == nil {
+		t.Fatal("query before build accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	e := built(t, gen.Cycle(5), Params{EpsA: 0.1, Seed: 1})
+	if e.Name() != "SLING" || !e.Indexed() || e.Setting() == "" {
+		t.Fatal("metadata wrong")
+	}
+	if e.IndexBytes() <= 0 {
+		t.Fatal("index bytes missing")
+	}
+	if _, err := e.Query(77); err == nil {
+		t.Fatal("bad node accepted")
+	}
+}
+
+func TestEtaOnCycle(t *testing.T) {
+	// On a directed cycle, two walks from the same node move in lockstep
+	// and meet at step 1 with probability c (both survive), so
+	// η = 1 - c/(1-?)... both walks always coincide while both alive:
+	// they meet at step 1 iff both take a step: probability c. If one
+	// stops first they never meet. η = 1 - c.
+	e := built(t, gen.Cycle(8), Params{EpsA: 0.05, Seed: 2})
+	for v := int32(0); v < 8; v++ {
+		if math.Abs(e.eta[v]-(1-c)) > 0.03 {
+			t.Fatalf("η(%d) = %v, want %v", v, e.eta[v], 1-c)
+		}
+	}
+}
+
+func TestSharedParent(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
+	e := built(t, g, Params{EpsA: 0.01, Seed: 3})
+	s, err := e.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s[2]-c) > 0.03 {
+		t.Fatalf("s(1,2) = %v, want %v", s[2], c)
+	}
+	if s[1] != 1 {
+		t.Fatal("self score")
+	}
+}
+
+func TestAccuracyVsExact(t *testing.T) {
+	g, err := gen.CopyingModel(120, 5, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.AllPairs(g, exact.Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epsA = 0.02
+	e := built(t, g, Params{EpsA: epsA, Seed: 5})
+	for _, u := range []int32{3, 40, 99} {
+		s, err := e.Query(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst, sum float64
+		for v := int32(0); v < g.N(); v++ {
+			if v == u {
+				continue
+			}
+			d := math.Abs(ex.At(u, v) - s[v])
+			sum += d
+			if d > worst {
+				worst = d
+			}
+		}
+		avg := sum / float64(g.N()-1)
+		if avg > epsA {
+			t.Fatalf("u=%d: avg error %v exceeds eps_a %v", u, avg, epsA)
+		}
+		if worst > 5*epsA {
+			t.Fatalf("u=%d: worst error %v too large", u, worst)
+		}
+	}
+}
+
+func TestIndexCap(t *testing.T) {
+	g, err := gen.CopyingModel(500, 6, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Params{EpsA: 0.005, MaxIndexBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Build()
+	var tooBig *limits.ErrIndexTooLarge
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("expected ErrIndexTooLarge, got %v", err)
+	}
+}
+
+func TestIndexGrowsWithPrecision(t *testing.T) {
+	g, err := gen.CopyingModel(300, 5, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := built(t, g, Params{EpsA: 0.2, Seed: 1})
+	fine := built(t, g, Params{EpsA: 0.02, Seed: 1})
+	if fine.IndexBytes() <= coarse.IndexBytes() {
+		t.Fatalf("finer eps should grow index: %d vs %d", fine.IndexBytes(), coarse.IndexBytes())
+	}
+}

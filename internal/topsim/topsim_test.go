@@ -1,0 +1,165 @@
+package topsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/simrank/simpush/internal/exact"
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+)
+
+const c = 0.6
+
+func TestValidation(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := New(g, Params{C: 2}); err == nil {
+		t.Fatal("c=2 accepted")
+	}
+	if _, err := New(g, Params{T: -1}); err == nil {
+		t.Fatal("T=-1 accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	e, err := New(gen.Cycle(4), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "TopSim" || e.Indexed() {
+		t.Fatal("metadata wrong")
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Setting() == "" || e.IndexBytes() <= 0 {
+		t.Fatal("setting/memory missing")
+	}
+	if _, err := e.Query(9); err == nil {
+		t.Fatal("bad node accepted")
+	}
+}
+
+func TestSharedParent(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
+	e, err := New(g, Params{T: 3, InvH: 10000, H: 100, Eta: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: meeting mass at the parent = c; TopSim has no γ
+	// correction but there are no repeated meetings here.
+	if math.Abs(s[2]-c) > 1e-9 {
+		t.Fatalf("s(1,2) = %v, want %v", s[2], c)
+	}
+}
+
+func TestCycleZero(t *testing.T) {
+	e, err := New(gen.Cycle(10), Params{T: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 10; v++ {
+		if s[v] != 0 {
+			t.Fatalf("cycle s(0,%d) = %v", v, s[v])
+		}
+	}
+}
+
+// Truncated, uncorrected scores should still track exact SimRank loosely;
+// TopSim overestimates pairs with repeated meetings and misses deep mass.
+func TestLooseAccuracy(t *testing.T) {
+	g, err := gen.CopyingModel(100, 4, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.AllPairs(g, exact.Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Params{T: 4, InvH: 10000, H: 1000, Eta: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := int32(17)
+	s, err := e.Query(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for v := int32(0); v < g.N(); v++ {
+		if v != u {
+			sum += math.Abs(ex.At(u, v) - s[v])
+		}
+	}
+	if avg := sum / float64(g.N()-1); avg > 0.05 {
+		t.Fatalf("avg error %v too large", avg)
+	}
+}
+
+func TestHighDegreeTrimming(t *testing.T) {
+	// Star: hub 0 has in-degree 49; with InvH=10 the hub is not expanded,
+	// so a query from a leaf... leaves have no in-neighbors; query from the
+	// hub: level 1 = leaves? I(0) = leaves (49 of them) > InvH -> trimmed.
+	e, err := New(gen.Star(50), Params{T: 3, InvH: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 50; v++ {
+		if s[v] != 0 {
+			t.Fatalf("trimmed expansion still produced score at %d", v)
+		}
+	}
+	// With a large threshold the same query sees its neighborhood.
+	e2, err := New(gen.Star(50), Params{T: 3, InvH: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e2.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s2 // hub query: leaves are dangling; just ensure no crash
+}
+
+func TestTopHKeepsStrongest(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := New(g, Params{T: 3, H: 5, InvH: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := New(g, Params{T: 3, H: 5000, InvH: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := small.Query(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := large.Query(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumS, sumL float64
+	for v := range ss {
+		sumS += ss[v]
+		sumL += sl[v]
+	}
+	if sumS > sumL+1e-9 {
+		t.Fatalf("H-trimmed run found more mass: %v vs %v", sumS, sumL)
+	}
+}

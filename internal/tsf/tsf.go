@@ -1,0 +1,213 @@
+// Package tsf implements TSF (Shao et al., PVLDB 2015 [28]), the one-way
+// graph index baseline.
+//
+// Build samples Rg one-way graphs: each assigns every node at most one
+// uniformly random in-neighbor (its "parent"). The deterministic parent
+// chains of a one-way graph simultaneously encode one random walk for
+// every node. A query samples Rq fresh √c-walks from u per one-way graph;
+// when u's walk sits at node w at step ℓ, every node v whose parent chain
+// reaches w in exactly ℓ hops (the depth-ℓ descendants of w in the reversed
+// one-way graph) is counted as meeting u with weight √c^ℓ — the decay of
+// v's deterministic walk; u's own decay is realized by the walk's stopping.
+//
+// As the SimPush paper notes, TSF allows two walks to meet multiple times
+// and assumes walks never cycle, so it overestimates SimRank — visible in
+// its error curves.
+package tsf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/limits"
+	"github.com/simrank/simpush/internal/rnd"
+	"github.com/simrank/simpush/internal/walk"
+)
+
+// Params configures TSF. The paper sweeps (Rg, Rq) over
+// {(10,2), (100,20), (200,30), (300,40), (600,80)}.
+type Params struct {
+	C    float64
+	Rg   int // number of one-way graphs; default 100
+	Rq   int // reuse per one-way graph at query time; default 20
+	T    int // max walk depth; default 10
+	Seed uint64
+	// MaxIndexBytes aborts Build with limits.ErrIndexTooLarge (0 = off).
+	MaxIndexBytes int64
+}
+
+func (p *Params) fill() {
+	if p.C == 0 {
+		p.C = 0.6
+	}
+	if p.Rg == 0 {
+		p.Rg = 100
+	}
+	if p.Rq == 0 {
+		p.Rq = 20
+	}
+	if p.T == 0 {
+		p.T = 10
+	}
+}
+
+// oneWay is a single one-way graph: parent pointers plus the reversed
+// child adjacency in CSR form for descendant harvesting.
+type oneWay struct {
+	parent   []int32 // sampled in-neighbor, or -1
+	childOff []int32
+	children []int32
+}
+
+// Engine is a TSF engine; Build must run before Query.
+type Engine struct {
+	g      *graph.Graph
+	p      Params
+	built  bool
+	graphs []oneWay
+	walker *walk.Walker
+	// BFS scratch for descendant harvesting
+	frontier, nextFrontier []int32
+	timeout                time.Duration
+}
+
+// SetQueryTimeout arms a cooperative per-query deadline (0 disables);
+// a query that exceeds it returns limits.ErrQueryTimeout.
+func (e *Engine) SetQueryTimeout(budget time.Duration) { e.timeout = budget }
+
+// New returns an unbuilt TSF engine.
+func New(g *graph.Graph, p Params) (*Engine, error) {
+	p.fill()
+	if p.C <= 0 || p.C >= 1 {
+		return nil, fmt.Errorf("tsf: c must be in (0,1), got %v", p.C)
+	}
+	if p.Rg < 1 || p.Rq < 1 {
+		return nil, fmt.Errorf("tsf: need Rg >= 1 and Rq >= 1")
+	}
+	return &Engine{g: g, p: p}, nil
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "TSF" }
+
+// Setting implements engine.Engine.
+func (e *Engine) Setting() string { return fmt.Sprintf("Rg=%d,Rq=%d", e.p.Rg, e.p.Rq) }
+
+// Indexed implements engine.Engine.
+func (e *Engine) Indexed() bool { return true }
+
+// IndexBytes implements engine.Engine.
+func (e *Engine) IndexBytes() int64 {
+	var b int64
+	for i := range e.graphs {
+		b += int64(len(e.graphs[i].parent))*4 +
+			int64(len(e.graphs[i].childOff))*4 +
+			int64(len(e.graphs[i].children))*4
+	}
+	return b
+}
+
+// Build samples the one-way graphs.
+func (e *Engine) Build() error {
+	n := e.g.N()
+	projected := int64(e.p.Rg) * int64(n) * 12
+	if e.p.MaxIndexBytes > 0 && projected > e.p.MaxIndexBytes {
+		return &limits.ErrIndexTooLarge{Need: projected, Cap: e.p.MaxIndexBytes}
+	}
+	r := rnd.New(e.p.Seed ^ 0x7af5c0ffee15900d)
+	e.graphs = make([]oneWay, e.p.Rg)
+	for i := 0; i < e.p.Rg; i++ {
+		ow := oneWay{
+			parent:   make([]int32, n),
+			childOff: make([]int32, n+1),
+		}
+		for v := int32(0); v < n; v++ {
+			in := e.g.In(v)
+			if len(in) == 0 {
+				ow.parent[v] = -1
+				continue
+			}
+			p := in[r.Intn(len(in))]
+			ow.parent[v] = p
+			ow.childOff[p+1]++
+		}
+		for v := int32(0); v < n; v++ {
+			ow.childOff[v+1] += ow.childOff[v]
+		}
+		ow.children = make([]int32, ow.childOff[n])
+		cursor := make([]int32, n)
+		for v := int32(0); v < n; v++ {
+			p := ow.parent[v]
+			if p < 0 {
+				continue
+			}
+			ow.children[ow.childOff[p]+cursor[p]] = v
+			cursor[p]++
+		}
+		e.graphs[i] = ow
+	}
+	e.walker = walk.NewWalker(e.g, e.p.C, rnd.New(e.p.Seed^0xfeedfacecafebeef))
+	e.built = true
+	return nil
+}
+
+// Query samples Rq walks from u per one-way graph and harvests descendant
+// sets.
+func (e *Engine) Query(u int32) ([]float64, error) {
+	if !e.built {
+		return nil, fmt.Errorf("tsf: Query before Build")
+	}
+	if !e.g.HasNode(u) {
+		return nil, fmt.Errorf("tsf: node %d out of range", u)
+	}
+	n := e.g.N()
+	scores := make([]float64, n)
+	sqrtC := math.Sqrt(e.p.C)
+	norm := 1 / float64(e.p.Rg*e.p.Rq)
+	var deadline time.Time
+	if e.timeout > 0 {
+		deadline = time.Now().Add(e.timeout)
+	}
+	for gi := range e.graphs {
+		ow := &e.graphs[gi]
+		if e.timeout > 0 && time.Now().After(deadline) {
+			return nil, limits.ErrQueryTimeout
+		}
+		for rep := 0; rep < e.p.Rq; rep++ {
+			steps := e.walker.SampleTruncated(u, e.p.T)
+			decay := 1.0
+			for l, w := range steps {
+				decay *= sqrtC
+				// All depth-(l+1) descendants of w in the one-way graph
+				// have their deterministic walk at w at step l+1.
+				weight := norm * decay
+				e.harvest(ow, w, l+1, u, weight, scores)
+			}
+		}
+	}
+	scores[u] = 1
+	return scores, nil
+}
+
+// harvest adds weight to every node at exactly `depth` hops below w in the
+// reversed one-way graph.
+func (e *Engine) harvest(ow *oneWay, w int32, depth int, u int32, weight float64, scores []float64) {
+	cur := e.frontier[:0]
+	nxt := e.nextFrontier[:0]
+	cur = append(cur, w)
+	for d := 0; d < depth && len(cur) > 0; d++ {
+		nxt = nxt[:0]
+		for _, x := range cur {
+			nxt = append(nxt, ow.children[ow.childOff[x]:ow.childOff[x+1]]...)
+		}
+		cur, nxt = nxt, cur
+	}
+	for _, v := range cur {
+		if v != u {
+			scores[v] += weight
+		}
+	}
+	e.frontier, e.nextFrontier = cur[:0], nxt[:0]
+}

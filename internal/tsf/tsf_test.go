@@ -1,0 +1,144 @@
+package tsf
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/simrank/simpush/internal/exact"
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/limits"
+)
+
+const c = 0.6
+
+func built(t testing.TB, g *graph.Graph, p Params) *Engine {
+	t.Helper()
+	e, err := New(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestValidation(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := New(g, Params{C: 3}); err == nil {
+		t.Fatal("c=3 accepted")
+	}
+	if _, err := New(g, Params{Rg: -1}); err == nil {
+		t.Fatal("Rg=-1 accepted")
+	}
+	e, err := New(g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(0); err == nil {
+		t.Fatal("query before build accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	e := built(t, gen.Cycle(5), Params{Rg: 10, Rq: 2, Seed: 1})
+	if e.Name() != "TSF" || !e.Indexed() || e.Setting() == "" {
+		t.Fatal("metadata wrong")
+	}
+	if e.IndexBytes() <= 0 {
+		t.Fatal("index bytes missing")
+	}
+	if _, err := e.Query(55); err == nil {
+		t.Fatal("bad node accepted")
+	}
+}
+
+func TestOneWayGraphStructure(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2}) // I(1)=I(2)={0}
+	e := built(t, g, Params{Rg: 5, Rq: 1, Seed: 2})
+	for _, ow := range e.graphs {
+		if ow.parent[1] != 0 || ow.parent[2] != 0 {
+			t.Fatal("forced parent not sampled")
+		}
+		if ow.parent[0] != -1 {
+			t.Fatal("dangling node got a parent")
+		}
+		kids := ow.children[ow.childOff[0]:ow.childOff[1]]
+		if len(kids) != 2 {
+			t.Fatalf("children of 0 = %v", kids)
+		}
+	}
+}
+
+func TestSharedParent(t *testing.T) {
+	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
+	e := built(t, g, Params{Rg: 300, Rq: 20, Seed: 3})
+	s, err := e.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s[2]-c) > 0.03 {
+		t.Fatalf("s(1,2) = %v, want %v", s[2], c)
+	}
+}
+
+func TestCycleZero(t *testing.T) {
+	e := built(t, gen.Cycle(10), Params{Rg: 50, Rq: 5, Seed: 4})
+	s, err := e.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 10; v++ {
+		if s[v] != 0 {
+			t.Fatalf("cycle s(0,%d) = %v", v, s[v])
+		}
+	}
+}
+
+// TSF's known bias: repeated meetings inflate scores. On graphs where
+// walks can re-meet, TSF should track exact SimRank loosely from above on
+// average; we only assert a loose band (the paper's Figure 4 shows TSF is
+// the least accurate method).
+func TestLooseAccuracy(t *testing.T) {
+	g, err := gen.CopyingModel(100, 4, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.AllPairs(g, exact.Options{C: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := built(t, g, Params{Rg: 300, Rq: 20, Seed: 6})
+	u := int32(11)
+	s, err := e.Query(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for v := int32(0); v < g.N(); v++ {
+		if v != u {
+			sum += math.Abs(ex.At(u, v) - s[v])
+		}
+	}
+	if avg := sum / float64(g.N()-1); avg > 0.05 {
+		t.Fatalf("avg error %v unreasonably large even for TSF", avg)
+	}
+}
+
+func TestIndexCap(t *testing.T) {
+	g, err := gen.ErdosRenyi(1000, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, Params{Rg: 600, Rq: 80, MaxIndexBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Build()
+	var tooBig *limits.ErrIndexTooLarge
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("expected ErrIndexTooLarge, got %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package simpush
+
+import (
+	"testing"
+)
+
+func TestTopKAdaptiveMatchesFine(t *testing.T) {
+	g, err := SyntheticWebGraph(5000, 8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(g, Options{Epsilon: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := int32(321)
+	adaptive, err := eng.TopKAdaptive(u, 10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Rounds < 1 || len(adaptive.Results) == 0 {
+		t.Fatalf("adaptive = %+v", adaptive)
+	}
+
+	fine, err := New(g, Options{Epsilon: 0.002, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fine.TopK(u, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adaptive set must agree with the fine set on the clear part of
+	// the ranking (scores can tie near the tail; compare as sets).
+	wantSet := map[int32]bool{}
+	for _, r := range want {
+		wantSet[r.Node] = true
+	}
+	agree := 0
+	for _, r := range adaptive.Results {
+		if wantSet[r.Node] {
+			agree++
+		}
+	}
+	if agree < len(adaptive.Results)-2 {
+		t.Fatalf("adaptive top-k diverges: %d/%d agree", agree, len(adaptive.Results))
+	}
+}
+
+func TestTopKAdaptiveStopsEarlyOnClearGap(t *testing.T) {
+	// Shared-parent graph: s(1,2)=0.6 and everything else is 0 — a huge
+	// gap, so the coarsest round must already certify the answer.
+	g, err := FromEdges([]int32{0, 0}, []int32{1, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.TopKAdaptive(1, 1, 0.08, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1 (gap is 0.6)", res.Rounds)
+	}
+	if len(res.Results) != 1 || res.Results[0].Node != 2 {
+		t.Fatalf("results = %v", res.Results)
+	}
+}
+
+func TestTopKAdaptiveValidation(t *testing.T) {
+	g, err := FromEdges([]int32{0}, []int32{1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.TopKAdaptive(0, 0, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := eng.TopKAdaptive(99, 1, 0, 0); err == nil {
+		t.Fatal("bad node accepted")
+	}
+	// startEps below floor clamps rather than erroring
+	if _, err := eng.TopKAdaptive(0, 1, 0.001, 0.01); err != nil {
+		t.Fatal(err)
+	}
+}
