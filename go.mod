@@ -1,0 +1,3 @@
+module github.com/simrank/simpush
+
+go 1.24
