@@ -1,6 +1,7 @@
 package simpush
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -127,7 +128,7 @@ func TestNewMethodAll(t *testing.T) {
 		if err := m.Build(); err != nil {
 			t.Fatalf("%s build: %v", name, err)
 		}
-		s, err := m.Query(10)
+		s, err := m.Query(context.Background(), 10)
 		if err != nil {
 			t.Fatalf("%s query: %v", name, err)
 		}

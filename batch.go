@@ -1,82 +1,31 @@
 package simpush
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
+	"context"
 
-	"github.com/simrank/simpush/internal/core"
 	"github.com/simrank/simpush/internal/graph"
 )
 
 // BatchSingleSource answers many single-source queries concurrently — the
-// batch-processing mode the paper lists as future work. Each worker owns a
-// private SimPush engine (queries are index-free, so engines are cheap),
-// and results[i] corresponds to queries[i].
+// batch-processing mode the paper lists as future work. It is a thin
+// wrapper that builds a temporary Client and runs the batch over its
+// engine pool; results[i] corresponds to queries[i].
 //
 // parallelism <= 0 selects GOMAXPROCS workers.
+//
+// Deprecated: use Client.BatchSingleSource, which reuses the pool across
+// batches and honors a context.
 func BatchSingleSource(g *Graph, queries []int32, opt Options, parallelism int) ([]*Result, error) {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+	c, err := NewClient(g, opt)
+	if err != nil {
+		return nil, err
 	}
-	if parallelism > len(queries) {
-		parallelism = len(queries)
-	}
-	if parallelism < 1 {
-		parallelism = 1
-	}
-	for _, u := range queries {
-		if !g.HasNode(u) {
-			return nil, fmt.Errorf("simpush: query node %d out of range [0, %d)", u, g.N())
-		}
-	}
-	results := make([]*Result, len(queries))
-	errs := make([]error, parallelism)
-	var next int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wopt := opt
-			// Decorrelate worker walk streams while keeping the batch
-			// deterministic for a fixed (opt.Seed, parallelism).
-			wopt.Seed = opt.Seed + uint64(w)*0x9e3779b97f4a7c15 + 1
-			eng, err := core.New(g, wopt)
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if int(i) >= len(queries) {
-					return
-				}
-				res, err := eng.Query(queries[i])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				results[i] = res
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return c.BatchSingleSource(context.Background(), queries, parallelism)
 }
 
 // DynamicGraph is a mutable graph for evolving workloads: edges are added
 // and removed over time and Snapshot returns an immutable graph for
-// querying. Because SimPush is index-free, a fresh engine on the snapshot
+// querying. Because SimPush is index-free, a fresh client on the snapshot
 // reflects every update with no maintenance beyond the CSR rebuild —
 // the realtime scenario of the paper's introduction.
 type DynamicGraph = graph.Dynamic

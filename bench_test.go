@@ -5,6 +5,7 @@
 package simpush
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -151,7 +152,7 @@ func BenchmarkMethodsQuery(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := m.Query(int32(i) % g.N()); err != nil {
+				if _, err := m.Query(context.Background(), int32(i)%g.N()); err != nil {
 					b.Fatal(err)
 				}
 			}

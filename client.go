@@ -1,0 +1,270 @@
+package simpush
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/simrank/simpush/internal/core"
+	"github.com/simrank/simpush/internal/eval"
+)
+
+// Typed error taxonomy of the query API. Every validation failure returned
+// by this package wraps one of these sentinels; classify with errors.Is
+// rather than matching message text.
+var (
+	// ErrNodeOutOfRange reports a query or target node id outside [0, n).
+	ErrNodeOutOfRange = core.ErrNodeOutOfRange
+	// ErrInvalidOptions reports out-of-domain engine options or per-query
+	// overrides (ε, δ or c outside (0,1), k < 0, bad parallelism, …).
+	ErrInvalidOptions = core.ErrInvalidOptions
+)
+
+// A QueryOption overrides one engine parameter for a single query. The
+// derived quantities (ε_h, L*, walk counts) are recomputed from the merged
+// options per query; the engine scratch is sized to the graph and is
+// reused unchanged, so per-query options cost no allocation.
+type QueryOption func(*core.QueryOpts)
+
+// WithEpsilon overrides the absolute error bound ε for one query.
+func WithEpsilon(eps float64) QueryOption {
+	return func(q *core.QueryOpts) { q.Epsilon = eps }
+}
+
+// WithDelta overrides the failure probability δ for one query.
+func WithDelta(delta float64) QueryOption {
+	return func(q *core.QueryOpts) { q.Delta = delta }
+}
+
+// WithSeed reseeds the level-detection walk stream at the start of one
+// query, making its result deterministic in (graph, options, seed) alone —
+// independent of which pooled engine serves it or what ran before.
+func WithSeed(seed uint64) QueryOption {
+	return func(q *core.QueryOpts) { q.Seed = seed; q.HasSeed = true }
+}
+
+// WithMaxWalks overrides the cap on level-detection walk samples for one
+// query (0 removes the cap). Capping voids the δ guarantee.
+func WithMaxWalks(n int) QueryOption {
+	return func(q *core.QueryOpts) { q.MaxWalks = n; q.HasMaxWalks = true }
+}
+
+func buildQueryOpts(opts []QueryOption) core.QueryOpts {
+	var qo core.QueryOpts
+	for _, o := range opts {
+		o(&qo)
+	}
+	return qo
+}
+
+// Client is the concurrency-safe entry point for SimRank queries: one
+// Client per graph serves any number of goroutines. It owns a sync.Pool of
+// per-worker core engines, so concurrent queries never share scratch and
+// sequential queries reuse it — there is no per-query engine construction.
+//
+// All query methods take a context; cancellation and deadlines are
+// honored inside the algorithm stages (between walk batches, Source-Push
+// levels, γ computations and Reverse-Push sweeps), so a slow query is
+// interrupted mid-flight and returns ctx.Err().
+//
+// Determinism: each pooled engine carries a decorrelated walk stream, and
+// which engine serves a concurrent query depends on scheduling. For
+// reproducible single queries pass WithSeed (seeded queries run in a
+// bounded seed scope and never perturb other streams). A single-goroutine
+// stream always runs on the client's pinned primary engine, so it is
+// reproducible in (graph, options, query order) exactly like a v1 Engine.
+type Client struct {
+	g   *Graph
+	opt Options
+
+	// primary is the engine carrying the client's base seed. It is pinned
+	// for the client's lifetime (a sync.Pool may drop idle entries at any
+	// GC, which would silently swap in a differently-seeded engine), so a
+	// single-goroutine query stream is reproducible exactly like a v1
+	// Engine. primaryFree hands it out to at most one query at a time.
+	primary     *core.SimPush
+	primaryFree atomic.Pointer[core.SimPush]
+
+	pool sync.Pool // overflow engines beyond the primary: *core.SimPush
+	seq  atomic.Uint64
+}
+
+// NewClient validates opt and returns a Client for g. Construction is
+// index-free: it allocates one engine's O(n) scratch and nothing else.
+func NewClient(g *Graph, opt Options) (*Client, error) {
+	c := &Client{g: g, opt: opt}
+	first, err := core.New(g, c.workerOptions(0))
+	if err != nil {
+		return nil, err
+	}
+	c.primary = first
+	c.primaryFree.Store(first)
+	c.pool.New = func() any {
+		eng, err := core.New(g, c.workerOptions(c.seq.Add(1)))
+		if err != nil {
+			// Unreachable: the same options validated in NewClient.
+			return nil
+		}
+		return eng
+	}
+	return c, nil
+}
+
+// workerOptions decorrelates the walk streams of pooled engines while
+// keeping them deterministic in the client seed.
+func (c *Client) workerOptions(worker uint64) Options {
+	opt := c.opt
+	opt.Seed += worker * 0x9e3779b97f4a7c15
+	return opt
+}
+
+// acquire checks an engine out — the pinned primary when it is free
+// (keeping sequential streams on one deterministic engine), otherwise an
+// overflow engine from the pool; release must be called when the query is
+// done.
+func (c *Client) acquire() (*core.SimPush, error) {
+	if eng := c.primaryFree.Swap(nil); eng != nil {
+		return eng, nil
+	}
+	if eng, ok := c.pool.Get().(*core.SimPush); ok && eng != nil {
+		return eng, nil
+	}
+	return nil, fmt.Errorf("simpush: %w: pooled engine construction failed", ErrInvalidOptions)
+}
+
+func (c *Client) release(eng *core.SimPush) {
+	if eng == c.primary {
+		c.primaryFree.Store(eng)
+		return
+	}
+	c.pool.Put(eng)
+}
+
+// Graph returns the client's graph.
+func (c *Client) Graph() *Graph { return c.g }
+
+// Options returns the engine-level options the client was built with.
+func (c *Client) Options() Options { return c.opt }
+
+// SingleSource estimates s(u, v) for every v, with |s−s̃| ≤ ε holding for
+// every v with probability at least 1−δ (Theorem 1 of the paper).
+func (c *Client) SingleSource(ctx context.Context, u int32, opts ...QueryOption) (*Result, error) {
+	eng, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer c.release(eng)
+	return eng.QueryCtx(ctx, u, buildQueryOpts(opts))
+}
+
+// TopK runs a single-source query and returns the k most similar nodes
+// (excluding u itself) in descending score order, ties broken by node id.
+// k is clamped to the candidate count; k <= 0 yields an empty result.
+func (c *Client) TopK(ctx context.Context, u int32, k int, opts ...QueryOption) ([]Ranked, error) {
+	res, err := c.SingleSource(ctx, u, opts...)
+	if err != nil {
+		return nil, err
+	}
+	ids := eval.TopK(res.Scores, k, u)
+	return rankedFrom(res.Scores, ids, k), nil
+}
+
+// Pair estimates the single SimRank value s(u, v). It runs a full
+// single-source query from u (SimPush has no cheaper primitive — the
+// paper's problem is inherently one-to-all) and reads off v, so prefer
+// SingleSource when several targets share a source. Both endpoints are
+// validated before any work is done.
+func (c *Client) Pair(ctx context.Context, u, v int32, opts ...QueryOption) (float64, error) {
+	if !c.g.HasNode(v) {
+		return 0, fmt.Errorf("simpush: %w: target node %d not in [0, %d)", ErrNodeOutOfRange, v, c.g.N())
+	}
+	res, err := c.SingleSource(ctx, u, opts...)
+	if err != nil {
+		return 0, err
+	}
+	return res.Scores[v], nil
+}
+
+// BatchSingleSource answers many single-source queries concurrently over
+// the client's engine pool; results[i] corresponds to queries[i]. Workers
+// check engines out of the shared pool, so back-to-back batches reuse the
+// same scratch. A failed or cancelled query cancels the rest of the batch.
+//
+// parallelism <= 0 selects GOMAXPROCS workers.
+func (c *Client) BatchSingleSource(ctx context.Context, queries []int32, parallelism int, opts ...QueryOption) ([]*Result, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	for _, u := range queries {
+		if !c.g.HasNode(u) {
+			return nil, fmt.Errorf("simpush: %w: query node %d not in [0, %d)", ErrNodeOutOfRange, u, c.g.N())
+		}
+	}
+	qo := buildQueryOpts(opts)
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, len(queries))
+	errs := make([]error, parallelism)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eng, err := c.acquire()
+			if err != nil {
+				errs[w] = err
+				cancel()
+				return
+			}
+			defer c.release(eng)
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(queries) {
+					return
+				}
+				res, err := eng.QueryCtx(bctx, queries[i], qo)
+				if err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
+				results[i] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// Workers that lost the race see the derived context cancelled;
+		// report the root cause instead.
+		if !errors.Is(err, context.Canceled) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		// Prefer the caller's own cancellation over the derived one.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, firstErr
+	}
+	return results, nil
+}

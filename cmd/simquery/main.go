@@ -1,18 +1,21 @@
 // Command simquery answers a single-source SimRank query on a graph file
 // with SimPush (or any baseline method) and prints the top-k results with
-// query diagnostics.
+// query diagnostics. Queries run under a context: -timeout bounds the
+// query and Ctrl-C cancels it mid-stage.
 //
 // Usage:
 //
 //	simquery -graph web.txt -u 42
-//	simquery -graph web.spg -binary -u 42 -eps 0.005 -k 20
+//	simquery -graph web.spg -binary -u 42 -eps 0.005 -k 20 -timeout 5s
 //	simquery -graph web.txt -u 42 -method ProbeSim -rank 2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	simpush "github.com/simrank/simpush"
@@ -30,19 +33,27 @@ func main() {
 		method     = flag.String("method", "SimPush", "method: SimPush | ProbeSim | PRSim | SLING | READS | TSF | TopSim")
 		rank       = flag.Int("rank", 2, "parameter setting rank 0(coarse)..4(fine) for baselines")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		timeout    = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*graphPath, *binary, *undirected, int32(*u), *k, *eps, *method, *rank, *seed); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *graphPath, *binary, *undirected, int32(*u), *k, *eps, *method, *rank, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "simquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, binary, undirected bool, u int32, k int, eps float64, method string, rank int, seed uint64) error {
+func run(ctx context.Context, path string, binary, undirected bool, u int32, k int, eps float64, method string, rank int, seed uint64) error {
 	t0 := time.Now()
 	var g *simpush.Graph
 	var err error
@@ -57,12 +68,12 @@ func run(path string, binary, undirected bool, u int32, k int, eps float64, meth
 	fmt.Printf("loaded %s: n=%d m=%d in %v\n", path, g.N(), g.M(), time.Since(t0))
 
 	if method == "SimPush" {
-		eng, err := simpush.New(g, simpush.Options{Epsilon: eps, Seed: seed})
+		client, err := simpush.NewClient(g, simpush.Options{Epsilon: eps})
 		if err != nil {
 			return err
 		}
 		t1 := time.Now()
-		res, err := eng.SingleSource(u)
+		res, err := client.SingleSource(ctx, u, simpush.WithSeed(seed))
 		if err != nil {
 			return err
 		}
@@ -87,7 +98,7 @@ func run(path string, binary, undirected bool, u int32, k int, eps float64, meth
 		fmt.Printf("%s build (%s): %v, index %d bytes\n", m.Name(), m.Setting(), time.Since(tb), m.IndexBytes())
 	}
 	t1 := time.Now()
-	scores, err := m.Query(u)
+	scores, err := m.Query(ctx, u)
 	if err != nil {
 		return err
 	}

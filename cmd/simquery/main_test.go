@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,34 +19,34 @@ func writeTestGraph(t *testing.T) string {
 
 func TestRunSimPush(t *testing.T) {
 	path := writeTestGraph(t)
-	if err := run(path, false, false, 1, 3, 0.01, "SimPush", 2, 1); err != nil {
+	if err := run(context.Background(), path, false, false, 1, 3, 0.01, "SimPush", 2, 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBaseline(t *testing.T) {
 	path := writeTestGraph(t)
-	if err := run(path, false, false, 1, 3, 0.01, "READS", 1, 1); err != nil {
+	if err := run(context.Background(), path, false, false, 1, 3, 0.01, "READS", 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUndirected(t *testing.T) {
 	path := writeTestGraph(t)
-	if err := run(path, false, true, 1, 3, 0.05, "SimPush", 2, 1); err != nil {
+	if err := run(context.Background(), path, false, true, 1, 3, 0.05, "SimPush", 2, 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingGraph(t *testing.T) {
-	if err := run("/nonexistent/graph.txt", false, false, 0, 3, 0.05, "SimPush", 2, 1); err == nil {
+	if err := run(context.Background(), "/nonexistent/graph.txt", false, false, 0, 3, 0.05, "SimPush", 2, 1); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
 
 func TestRunUnknownMethod(t *testing.T) {
 	path := writeTestGraph(t)
-	if err := run(path, false, false, 1, 3, 0.05, "Nope", 2, 1); err == nil {
+	if err := run(context.Background(), path, false, false, 1, 3, 0.05, "Nope", 2, 1); err == nil {
 		t.Fatal("unknown method accepted")
 	}
 }

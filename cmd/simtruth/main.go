@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -59,11 +60,11 @@ func run(path string, binary, undirected bool, u, v int32, pool bool, k, samples
 		return nil
 	}
 	// Pool mode: seed the pool with a high-accuracy SimPush run, then MC.
-	eng, err := simpush.New(g, simpush.Options{Epsilon: 0.005, Seed: seed})
+	client, err := simpush.NewClient(g, simpush.Options{Epsilon: 0.005, Seed: seed})
 	if err != nil {
 		return err
 	}
-	res, err := eng.SingleSource(u)
+	res, err := client.SingleSource(context.Background(), u)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,13 +22,20 @@ func main() {
 	}
 	fmt.Printf("graph: %d nodes, %d edges\n\n", g.N(), g.M())
 
-	// A batch of 16 queries, answered by 2 workers with private engines.
+	ctx := context.Background()
+	client, err := simpush.NewClient(g, simpush.Options{Epsilon: 0.02, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A batch of 16 queries, answered by 2 workers sharing the client's
+	// engine pool.
 	queries := make([]int32, 16)
 	for i := range queries {
 		queries[i] = int32((i + 1) * 3571 % int(g.N()))
 	}
 	t0 := time.Now()
-	results, err := simpush.BatchSingleSource(g, queries, simpush.Options{Epsilon: 0.02, Seed: 7}, 2)
+	results, err := client.BatchSingleSource(ctx, queries, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,13 +50,10 @@ func main() {
 
 	// Adaptive top-k: precision is raised only until the top-k set is
 	// provably stable, so easy queries finish at coarse (cheap) settings.
-	eng, err := simpush.New(g, simpush.Options{Seed: 7})
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Rounds reuse one pooled engine via per-query epsilon overrides.
 	for _, u := range queries[:4] {
 		t1 := time.Now()
-		res, err := eng.TopKAdaptive(u, 1, 0.08, 0.005)
+		res, err := client.TopKAdaptive(ctx, u, 1, 0.08, 0.005)
 		if err != nil {
 			log.Fatal(err)
 		}

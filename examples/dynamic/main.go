@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -56,12 +57,12 @@ func main() {
 		adjRebuild := time.Since(tRebuild)
 
 		// Index-free: query the fresh graph immediately.
-		eng, err := simpush.New(g, simpush.Options{Epsilon: 0.02, Seed: 5})
+		client, err := simpush.NewClient(g, simpush.Options{Epsilon: 0.02, Seed: 5})
 		if err != nil {
 			log.Fatal(err)
 		}
 		tq := time.Now()
-		top, err := eng.TopK(user, 5)
+		top, err := client.TopK(context.Background(), user, 5)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func main() {
 		}
 		readsBuild := time.Since(tb)
 		tq2 := time.Now()
-		if _, err := readsEng.Query(user); err != nil {
+		if _, err := readsEng.Query(context.Background(), user); err != nil {
 			log.Fatal(err)
 		}
 		readsTotal := readsBuild + time.Since(tq2)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,15 +21,16 @@ func main() {
 	}
 	fmt.Printf("graph: %d nodes, %d edges\n", g.N(), g.M())
 
-	// No index, no preprocessing: the engine is ready immediately.
-	eng, err := simpush.New(g, simpush.Options{Epsilon: 0.02, Seed: 1})
+	// No index, no preprocessing: the client is ready immediately, and one
+	// client can serve any number of goroutines.
+	client, err := simpush.NewClient(g, simpush.Options{Epsilon: 0.02, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	const u = int32(12345)
 	t0 := time.Now()
-	res, err := eng.SingleSource(u)
+	res, err := client.SingleSource(context.Background(), u)
 	if err != nil {
 		log.Fatal(err)
 	}

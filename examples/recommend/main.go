@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,14 +29,14 @@ func main() {
 	blockSize := g.N() / 40
 	fmt.Printf("social network: %d users, %d follows, %d communities\n", g.N(), g.M(), 40)
 
-	eng, err := simpush.New(g, simpush.Options{Epsilon: 0.01, Seed: 9})
+	client, err := simpush.NewClient(g, simpush.Options{Epsilon: 0.01, Seed: 9})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	user := int32(3 * blockSize / 2) // someone in community 1
 	t0 := time.Now()
-	res, err := eng.SingleSource(user)
+	res, err := client.SingleSource(context.Background(), user)
 	if err != nil {
 		log.Fatal(err)
 	}

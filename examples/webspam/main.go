@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,12 +38,12 @@ func main() {
 	fmt.Printf("farm: pages %d..%d boosted by %d booster pages\n",
 		webPages, webPages+farmSize-1, boosters)
 
-	eng, err := simpush.New(g, simpush.Options{Epsilon: 0.01, Seed: 3})
+	client, err := simpush.NewClient(g, simpush.Options{Epsilon: 0.01, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
 	t0 := time.Now()
-	top, err := eng.TopK(seedMember, topK)
+	top, err := client.TopK(context.Background(), seedMember, topK)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -164,12 +165,19 @@ func RunDataset(opt Options, ds gen.Dataset) ([]Row, error) {
 		scores[i] = make([][]float64, len(queries))
 		var queryTotal time.Duration
 		for q, u := range queries {
+			// Enforce the per-query budget both cooperatively (engines
+			// implementing TimeoutSettable) and via context deadline.
+			qctx, cancel := context.Background(), context.CancelFunc(func() {})
+			if opt.MaxQueryTime > 0 {
+				qctx, cancel = context.WithTimeout(context.Background(), opt.MaxQueryTime)
+			}
 			qt0 := time.Now()
-			s, err := eng.Query(u)
+			s, err := eng.Query(qctx, u)
 			qt := time.Since(qt0)
+			cancel()
 			if err != nil {
 				row.Excluded = true
-				if errors.Is(err, limits.ErrQueryTimeout) {
+				if errors.Is(err, limits.ErrQueryTimeout) || errors.Is(err, context.DeadlineExceeded) {
 					row.Reason = "query over time budget"
 					timeExcluded[cfg.Method] = cfg.Rank
 				} else {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -63,7 +64,7 @@ func Table1(w io.Writer, opt Options) error {
 			return err
 		}
 		pbTime := timeQueries(len(queries), func(i int) error {
-			_, err := pb.Query(queries[i])
+			_, err := pb.Query(context.Background(), queries[i])
 			return err
 		})
 

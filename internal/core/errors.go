@@ -1,0 +1,15 @@
+package core
+
+import "github.com/simrank/simpush/internal/limits"
+
+// Sentinel errors of the query API, shared with the baseline engines via
+// internal/limits. All validation failures wrap one of these, so callers
+// can classify failures with errors.Is instead of matching message
+// strings.
+var (
+	// ErrNodeOutOfRange reports a query or target node id outside [0, n).
+	ErrNodeOutOfRange = limits.ErrNodeOutOfRange
+	// ErrInvalidOptions reports engine options or per-query overrides with
+	// out-of-domain values (c, ε or δ outside (0,1), and so on).
+	ErrInvalidOptions = limits.ErrInvalidOptions
+)

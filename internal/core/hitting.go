@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // computeHittingVecs is Algorithm 3: it computes, for every (level, node)
 // of G_u, the hitting probabilities h̃^(i) within G_u to every attention
 // node at deeper levels (Definition 5, Eq. 12).
@@ -14,9 +16,11 @@ package core
 // attention-node targets — exactly what Algorithm 4 consumes. Non-attention
 // holders participate as intermediaries, as in the paper's Figure 2
 // (e.g. h̃^(1)(w°d, wh)).
-func (sp *SimPush) computeHittingVecs(qs *queryState) {
+// Cancellation is checked once per level; aborts happen at level
+// boundaries only, where attScratch is zeroed and attTouched empty.
+func (sp *SimPush) computeHittingVecs(ctx context.Context, qs *queryState) error {
 	if qs.L < 2 {
-		return
+		return nil
 	}
 	if len(sp.attScratch) < len(qs.att) {
 		sp.attScratch = make([]float64, len(qs.att))
@@ -27,6 +31,9 @@ func (sp *SimPush) computeHittingVecs(qs *queryState) {
 	}
 
 	for l := qs.L; l >= 2; l-- {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Self entries h̃^(0)(w, w) = 1 for attention nodes at level l
 		// (Algorithm 3 lines 2-3). Gap-0 entries cannot already exist:
 		// pulls only create entries to strictly deeper levels.
@@ -55,7 +62,7 @@ func (sp *SimPush) computeHittingVecs(qs *queryState) {
 			if len(sp.attTouched) == 0 {
 				continue
 			}
-			scale := sp.p.sqrtC / float64(len(in))
+			scale := qs.p.sqrtC / float64(len(in))
 			vec := make([]ventry, len(sp.attTouched))
 			for k, a := range sp.attTouched {
 				vec[k] = ventry{a: a, v: sp.attScratch[a] * scale}
@@ -65,4 +72,5 @@ func (sp *SimPush) computeHittingVecs(qs *queryState) {
 			qs.vecs[l-1][i] = vec
 		}
 	}
+	return nil
 }

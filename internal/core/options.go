@@ -75,15 +75,58 @@ func (o Options) withDefaults() Options {
 
 func (o Options) validate() error {
 	if o.C <= 0 || o.C >= 1 {
-		return fmt.Errorf("core: decay factor c must be in (0,1), got %v", o.C)
+		return fmt.Errorf("core: %w: decay factor c must be in (0,1), got %v", ErrInvalidOptions, o.C)
 	}
 	if o.Epsilon <= 0 || o.Epsilon >= 1 {
-		return fmt.Errorf("core: epsilon must be in (0,1), got %v", o.Epsilon)
+		return fmt.Errorf("core: %w: epsilon must be in (0,1), got %v", ErrInvalidOptions, o.Epsilon)
 	}
 	if o.Delta <= 0 || o.Delta >= 1 {
-		return fmt.Errorf("core: delta must be in (0,1), got %v", o.Delta)
+		return fmt.Errorf("core: %w: delta must be in (0,1), got %v", ErrInvalidOptions, o.Delta)
 	}
 	return nil
+}
+
+// QueryOpts carries per-query overrides of the engine Options. The zero
+// value inherits every engine setting; a set field replaces the engine
+// value for one query only, with the derived quantities (ε_h, L*, walk
+// counts) recomputed from the merged options. The engine scratch is sized
+// to the graph, not to the parameters, so overrides reuse it fully.
+type QueryOpts struct {
+	// Epsilon overrides the error bound ε when nonzero.
+	Epsilon float64
+	// Delta overrides the failure probability δ when nonzero.
+	Delta float64
+	// Seed, when HasSeed is set, reseeds the level-detection walk stream at
+	// the start of the query, making the query deterministic regardless of
+	// what ran before on the same engine.
+	Seed    uint64
+	HasSeed bool
+	// MaxWalks, when HasMaxWalks is set, replaces the engine walk cap
+	// (0 removes the cap).
+	MaxWalks    int
+	HasMaxWalks bool
+}
+
+// IsZero reports whether the overrides leave every engine setting intact.
+func (q QueryOpts) IsZero() bool {
+	return q == QueryOpts{}
+}
+
+// merge returns the engine options with the per-query overrides applied.
+func (o Options) merge(q QueryOpts) Options {
+	if q.Epsilon != 0 {
+		o.Epsilon = q.Epsilon // negative values fail validate, not silently drop
+	}
+	if q.Delta != 0 {
+		o.Delta = q.Delta
+	}
+	if q.HasSeed {
+		o.Seed = q.Seed
+	}
+	if q.HasMaxWalks {
+		o.MaxWalks = q.MaxWalks
+	}
+	return o
 }
 
 // params holds the quantities derived from Options that the three stages

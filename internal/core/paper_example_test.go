@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -42,8 +43,8 @@ const (
 
 func runExampleQueryState(t *testing.T, sp *SimPush) *queryState {
 	t.Helper()
-	qs := &queryState{u: nU}
-	sp.sourcePush(qs)
+	qs := sp.newQueryState(nU)
+	sp.sourcePush(context.Background(), qs)
 	if qs.L != 3 {
 		t.Fatalf("detected L = %d, want 3", qs.L)
 	}
@@ -134,7 +135,7 @@ func TestPaperFigure2Hitting(t *testing.T) {
 	sp := newPaperExampleEngine(t)
 	qs := runExampleQueryState(t, sp)
 	defer sp.resetSlots(qs)
-	sp.computeHittingVecs(qs)
+	sp.computeHittingVecs(context.Background(), qs)
 
 	attIdxOf := func(l int, node int32) int32 {
 		for i, a := range qs.att {
@@ -196,7 +197,7 @@ func TestPaperExampleGamma(t *testing.T) {
 	sp := newPaperExampleEngine(t)
 	qs := runExampleQueryState(t, sp)
 	defer sp.resetSlots(qs)
-	sp.computeHittingVecs(qs)
+	sp.computeHittingVecs(context.Background(), qs)
 	sp.ensureGammaScratch(len(qs.att))
 
 	want := map[[2]int32]float64{

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -85,8 +86,8 @@ func TestQuickLevelMassBound(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		qs := &queryState{u: int32(token % uint32(g.N()))}
-		eng.sourcePush(qs)
+		qs := eng.newQueryState(int32(token % uint32(g.N())))
+		eng.sourcePush(context.Background(), qs)
 		defer eng.resetSlots(qs)
 		sqrtC := math.Sqrt(eng.opt.C)
 		for l, lv := range qs.levels {

@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // reversePush is Algorithm 5: starting from the residues r^(ℓ)(w) =
 // h^(ℓ)(u,w)·γ^(ℓ)(w) of all attention nodes, residues are propagated
 // level-by-level along out-edges of G (each target v receives
@@ -11,7 +13,10 @@ package core
 // residue at that level are combined and pushed together (the paper's
 // "combine the push" optimization), which the level-synchronous sweep
 // below gives for free.
-func (sp *SimPush) reversePush(qs *queryState, scores []float64) {
+//
+// Cancellation is checked once per level sweep; on abort the residue
+// scratch is zeroed before returning so the engine stays reusable.
+func (sp *SimPush) reversePush(ctx context.Context, qs *queryState, scores []float64) error {
 	n := sp.g.N()
 	if len(sp.rCur) < int(n) {
 		sp.rCur = make([]float64, n)
@@ -21,6 +26,16 @@ func (sp *SimPush) reversePush(qs *queryState, scores []float64) {
 	curT, nxtT := sp.curTouched[:0], sp.nxtTouched[:0]
 
 	for l := qs.L; l >= 1; l-- {
+		if err := ctx.Err(); err != nil {
+			// Drop pending residues: the scratch must be clean for the
+			// next query on this engine.
+			for _, v := range curT {
+				cur[v] = 0
+			}
+			sp.rCur, sp.rNxt = cur, nxt
+			sp.curTouched, sp.nxtTouched = curT[:0], nxtT[:0]
+			return err
+		}
 		// Inject the initial residues of level-l attention nodes.
 		if l < len(qs.attByLevel) {
 			for _, ai := range qs.attByLevel[l] {
@@ -38,8 +53,8 @@ func (sp *SimPush) reversePush(qs *queryState, scores []float64) {
 		for _, v := range curT {
 			r := cur[v]
 			cur[v] = 0
-			pr := sp.p.sqrtC * r
-			if pr < sp.p.epsH {
+			pr := qs.p.sqrtC * r
+			if pr < qs.p.epsH {
 				continue // prune: residue too small to matter (Lemma 4)
 			}
 			if l > 1 {
@@ -69,4 +84,5 @@ func (sp *SimPush) reversePush(qs *queryState, scores []float64) {
 	sp.curTouched, sp.nxtTouched = curT[:0], nxtT[:0]
 
 	scores[qs.u] = 1 // Algorithm 5 line 10
+	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,10 @@ import (
 	"github.com/simrank/simpush/internal/rnd"
 	"github.com/simrank/simpush/internal/walk"
 )
+
+// walkerSeedMix decorrelates the walk stream from other consumers of the
+// same user-visible seed.
+const walkerSeedMix = 0x51a97c15deadbeef
 
 // SimPush answers approximate single-source SimRank queries on a fixed
 // graph with no precomputation (Algorithm 1 of the paper).
@@ -69,9 +74,13 @@ type attNode struct {
 	gamma float64
 }
 
-// queryState carries all per-query intermediate structures.
+// queryState carries all per-query intermediate structures, including the
+// effective options and derived parameters of this query (the engine values
+// merged with any QueryOpts overrides).
 type queryState struct {
 	u          int32
+	opt        Options
+	p          params
 	L          int
 	levels     []level
 	att        []attNode
@@ -123,7 +132,7 @@ func New(g *graph.Graph, opt Options) (*SimPush, error) {
 		g:       g,
 		opt:     opt,
 		p:       p,
-		walker:  walk.NewWalker(g, opt.C, rnd.New(opt.Seed^0x51a97c15deadbeef)),
+		walker:  walk.NewWalker(g, opt.C, rnd.New(opt.Seed^walkerSeedMix)),
 		counter: walk.NewLevelCounter(g.N()),
 	}
 	sp.hScratch = make([]float64, g.N())
@@ -158,38 +167,89 @@ func (sp *SimPush) MemoryBytes() int64 {
 	return b
 }
 
-// Query computes s̃(u, v) for every v (Algorithm 1).
+// Query computes s̃(u, v) for every v (Algorithm 1) with the engine's
+// configured options and no cancellation.
 func (sp *SimPush) Query(u int32) (*Result, error) {
+	return sp.QueryCtx(context.Background(), u, QueryOpts{})
+}
+
+// gammaCtxStride is how many Algorithm 4 invocations run between two
+// cancellation checks during the γ stage.
+const gammaCtxStride = 64
+
+// QueryCtx computes s̃(u, v) for every v (Algorithm 1), honoring ctx and
+// per-query parameter overrides. Cancellation is observed at stage
+// boundaries and inside each stage — between walk batches of level
+// detection, between Source-Push levels, between γ computations, and
+// between Reverse-Push level sweeps — so an expired deadline interrupts
+// the query mid-flight rather than after the fact. The returned error is
+// ctx.Err() itself, compatible with errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded). An interrupted query leaves
+// the engine scratch clean; the engine remains usable.
+func (sp *SimPush) QueryCtx(ctx context.Context, u int32, qo QueryOpts) (*Result, error) {
 	if !sp.g.HasNode(u) {
-		return nil, fmt.Errorf("core: query node %d out of range [0, %d)", u, sp.g.N())
+		return nil, fmt.Errorf("core: %w: query node %d not in [0, %d)", ErrNodeOutOfRange, u, sp.g.N())
 	}
-	qs := &queryState{u: u}
+	opt, p := sp.opt, sp.p
+	if !qo.IsZero() {
+		opt = opt.merge(qo)
+		if err := opt.validate(); err != nil {
+			return nil, err
+		}
+		p = deriveParams(opt)
+		if qo.HasSeed {
+			// Seed a bounded scope: the engine's own stream resumes
+			// untouched afterwards, so a seeded query never perturbs (or
+			// correlates) the walk streams of later unseeded queries.
+			restore := sp.walker.PushSeed(opt.Seed ^ walkerSeedMix)
+			defer restore()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	qs := &queryState{u: u, opt: opt, p: p}
 
 	t0 := time.Now()
-	sp.sourcePush(qs) // Algorithm 2
+	if err := sp.sourcePush(ctx, qs); err != nil { // Algorithm 2
+		sp.resetSlots(qs)
+		return nil, err
+	}
 	t1 := time.Now()
 
-	if sp.opt.DisableGamma {
+	if opt.DisableGamma {
 		for i := range qs.att {
 			qs.att[i].gamma = 1
 		}
 	} else {
-		sp.computeHittingVecs(qs) // Algorithm 3
+		if err := sp.computeHittingVecs(ctx, qs); err != nil { // Algorithm 3
+			sp.resetSlots(qs)
+			return nil, err
+		}
 		sp.ensureGammaScratch(len(qs.att))
 		for i := range qs.att {
+			if i%gammaCtxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					sp.resetSlots(qs)
+					return nil, err
+				}
+			}
 			qs.att[i].gamma = sp.computeGamma(qs, int32(i)) // Algorithm 4
 		}
 	}
 	t2 := time.Now()
 
 	scores := make([]float64, sp.g.N())
-	sp.reversePush(qs, scores) // Algorithm 5
+	if err := sp.reversePush(ctx, qs, scores); err != nil { // Algorithm 5
+		sp.resetSlots(qs)
+		return nil, err
+	}
 	t3 := time.Now()
 
 	res := &Result{
 		Scores: scores,
 		L:      qs.L,
-		Walks:  sp.p.nWalks,
+		Walks:  p.nWalks,
 		Durations: StageDurations{
 			SourcePush:  t1.Sub(t0),
 			Gamma:       t2.Sub(t1),
@@ -206,6 +266,12 @@ func (sp *SimPush) Query(u int32) (*Result, error) {
 
 	sp.resetSlots(qs)
 	return res, nil
+}
+
+// newQueryState returns a query state carrying the engine's effective
+// options and derived parameters, with no per-query overrides.
+func (sp *SimPush) newQueryState(u int32) *queryState {
+	return &queryState{u: u, opt: sp.opt, p: sp.p}
 }
 
 // ensureGammaScratch sizes the Algorithm 4 scratch to the number of

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -363,8 +364,8 @@ func TestAttentionBounds(t *testing.T) {
 func TestHittingProbabilityConservation(t *testing.T) {
 	g := gen.Complete(30)
 	sp := mustEngine(t, g, Options{Epsilon: 0.02, Seed: 8})
-	qs := &queryState{u: 3}
-	sp.sourcePush(qs)
+	qs := sp.newQueryState(3)
+	sp.sourcePush(context.Background(), qs)
 	defer sp.resetSlots(qs)
 	sqrtC := math.Sqrt(testC)
 	for l, lv := range qs.levels {

@@ -1,12 +1,27 @@
 package core
 
+import "context"
+
+// walkCtxBatch is how many level-detection √c-walks run between two
+// cancellation checks.
+const walkCtxBatch = 256
+
 // sourcePush is Algorithm 2: it detects the max level L by √c-walk
 // sampling, then computes the exact hitting probabilities h^(ℓ)(u, ·) for
 // ℓ = 0..L by deterministic residue propagation over in-edges, recording
 // the source graph G_u level by level, and finally extracts the attention
 // sets A_u^(ℓ) = {w : h^(ℓ)(u, w) ≥ ε_h}.
-func (sp *SimPush) sourcePush(qs *queryState) {
-	qs.L = sp.detectMaxLevel(qs.u)
+//
+// Cancellation is checked between walk batches and between levels; an
+// abort happens only at those boundaries, where the engine scratch
+// (hScratch, hTouched, slots) is consistent with qs.levels, so the caller
+// can clean up with resetSlots alone.
+func (sp *SimPush) sourcePush(ctx context.Context, qs *queryState) error {
+	L, err := sp.detectMaxLevel(ctx, qs)
+	if err != nil {
+		return err
+	}
+	qs.L = L
 
 	// Level 0 holds only the query node with h^(0)(u, u) = 1.
 	sp.slotLevel(0)[qs.u] = 0
@@ -20,13 +35,16 @@ func (sp *SimPush) sourcePush(qs *queryState) {
 	// frontier sends √c·h^(ℓ)(u,v)/d_I(v) to each in-neighbor; in-neighbors
 	// form level ℓ+1.
 	for l := 0; l < qs.L; l++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cur := &qs.levels[l]
 		for i, v := range cur.nodes {
 			in := sp.g.In(v)
 			if len(in) == 0 {
 				continue
 			}
-			w := sp.p.sqrtC * cur.h[i] / float64(len(in))
+			w := qs.p.sqrtC * cur.h[i] / float64(len(in))
 			for _, vp := range in {
 				if sp.hScratch[vp] == 0 {
 					sp.hTouched = append(sp.hTouched, vp)
@@ -62,7 +80,7 @@ func (sp *SimPush) sourcePush(qs *queryState) {
 	for l := 1; l < len(qs.levels); l++ {
 		lv := &qs.levels[l]
 		for i, hv := range lv.h {
-			if hv >= sp.p.epsH {
+			if hv >= qs.p.epsH {
 				idx := int32(len(qs.att))
 				qs.att = append(qs.att, attNode{
 					level: int32(l),
@@ -76,20 +94,26 @@ func (sp *SimPush) sourcePush(qs *queryState) {
 			}
 		}
 	}
+	return nil
 }
 
 // detectMaxLevel samples n_w √c-walks from u and returns the deepest level
 // at which some node was visited at least countThld times (Algorithm 2
 // lines 1-8), capped at L*. In deterministic mode (n_w = 0) it returns L*
 // directly.
-func (sp *SimPush) detectMaxLevel(u int32) int {
-	if sp.p.nWalks == 0 {
-		return sp.p.lStar
+func (sp *SimPush) detectMaxLevel(ctx context.Context, qs *queryState) (int, error) {
+	if qs.p.nWalks == 0 {
+		return qs.p.lStar, nil
 	}
 	sp.counter.Reset()
-	for i := 0; i < sp.p.nWalks; i++ {
-		v := u
-		for step := 1; step <= sp.p.lStar; step++ {
+	for i := 0; i < qs.p.nWalks; i++ {
+		if i%walkCtxBatch == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		v := qs.u
+		for step := 1; step <= qs.p.lStar; step++ {
 			nv, ok := sp.walker.Next(v)
 			if !ok {
 				break
@@ -100,12 +124,12 @@ func (sp *SimPush) detectMaxLevel(u int32) int {
 	}
 	L := 0
 	for l := 1; l < sp.counter.MaxLevels(); l++ {
-		if sp.counter.MaxCountAt(l) >= sp.p.countThld {
+		if sp.counter.MaxCountAt(l) >= qs.p.countThld {
 			L = l
 		}
 	}
-	if L > sp.p.lStar {
-		L = sp.p.lStar
+	if L > qs.p.lStar {
+		L = qs.p.lStar
 	}
-	return L
+	return L, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/simrank/simpush/internal/gen"
@@ -25,8 +26,8 @@ func BenchmarkStageSourcePush(b *testing.B) {
 	sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		qs := &queryState{u: int32(i) % g.N()}
-		sp.sourcePush(qs)
+		qs := sp.newQueryState(int32(i) % g.N())
+		sp.sourcePush(context.Background(), qs)
 		sp.resetSlots(qs)
 	}
 }
@@ -36,9 +37,9 @@ func BenchmarkStageGamma(b *testing.B) {
 	sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		qs := &queryState{u: int32(i) % g.N()}
-		sp.sourcePush(qs)
-		sp.computeHittingVecs(qs)
+		qs := sp.newQueryState(int32(i) % g.N())
+		sp.sourcePush(context.Background(), qs)
+		sp.computeHittingVecs(context.Background(), qs)
 		sp.ensureGammaScratch(len(qs.att))
 		for j := range qs.att {
 			qs.att[j].gamma = sp.computeGamma(qs, int32(j))
@@ -51,9 +52,9 @@ func BenchmarkStageReversePush(b *testing.B) {
 	g := stageGraph(b)
 	sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1})
 	// Prepare one query state outside the timed loop.
-	qs := &queryState{u: 123}
-	sp.sourcePush(qs)
-	sp.computeHittingVecs(qs)
+	qs := sp.newQueryState(123)
+	sp.sourcePush(context.Background(), qs)
+	sp.computeHittingVecs(context.Background(), qs)
 	sp.ensureGammaScratch(len(qs.att))
 	for j := range qs.att {
 		qs.att[j].gamma = sp.computeGamma(qs, int32(j))
@@ -64,7 +65,7 @@ func BenchmarkStageReversePush(b *testing.B) {
 		for v := range scores {
 			scores[v] = 0
 		}
-		sp.reversePush(qs, scores)
+		sp.reversePush(context.Background(), qs, scores)
 	}
 	b.StopTimer()
 	sp.resetSlots(qs)
@@ -83,7 +84,7 @@ func BenchmarkLevelDetection(b *testing.B) {
 			sp := mustEngine(b, g, Options{Epsilon: 0.05, Seed: 1, LevelDetect: mode.m, MaxWalks: 3_000_000})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sp.detectMaxLevel(int32(i) % g.N())
+				sp.detectMaxLevel(context.Background(), sp.newQueryState(int32(i)%g.N()))
 			}
 		})
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/simrank/simpush/internal/core"
@@ -34,8 +35,8 @@ func (e *simPushEngine) Setting() string {
 func (e *simPushEngine) Indexed() bool     { return false }
 func (e *simPushEngine) Build() error      { return nil }
 func (e *simPushEngine) IndexBytes() int64 { return e.sp.MemoryBytes() }
-func (e *simPushEngine) Query(u int32) ([]float64, error) {
-	res, err := e.sp.Query(u)
+func (e *simPushEngine) Query(ctx context.Context, u int32) ([]float64, error) {
+	res, err := e.sp.QueryCtx(ctx, u, core.QueryOpts{})
 	if err != nil {
 		return nil, err
 	}

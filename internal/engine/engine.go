@@ -3,7 +3,11 @@
 // methods and parameter settings generically.
 package engine
 
-import "github.com/simrank/simpush/internal/limits"
+import (
+	"context"
+
+	"github.com/simrank/simpush/internal/limits"
+)
 
 // Engine is a single-source SimRank solver bound to one graph and one
 // parameter setting.
@@ -19,8 +23,10 @@ type Engine interface {
 	Indexed() bool
 	// Build runs preprocessing. Index-free engines return nil immediately.
 	Build() error
-	// Query returns the estimated SimRank row s̃(u, ·).
-	Query(u int32) ([]float64, error)
+	// Query returns the estimated SimRank row s̃(u, ·). Cancellation of ctx
+	// is observed at the engine's main loop boundaries; the error is then
+	// ctx.Err(). A node outside the graph wraps limits.ErrNodeOutOfRange.
+	Query(ctx context.Context, u int32) ([]float64, error)
 	// IndexBytes estimates the memory held by the index and persistent
 	// query scratch, excluding the input graph.
 	IndexBytes() int64

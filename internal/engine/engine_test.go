@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -26,7 +27,7 @@ func TestSimPushAdapter(t *testing.T) {
 	if err := e.Build(); err != nil {
 		t.Fatal(err)
 	}
-	s, err := e.Query(5)
+	s, err := e.Query(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestAllEnginesEndToEnd(t *testing.T) {
 		if err := e.Build(); err != nil {
 			t.Fatalf("%s/%s build: %v", cfg.Method, cfg.Setting, err)
 		}
-		s, err := e.Query(u)
+		s, err := e.Query(context.Background(), u)
 		if err != nil {
 			t.Fatalf("%s/%s query: %v", cfg.Method, cfg.Setting, err)
 		}
@@ -168,7 +169,7 @@ func TestCrossMethodTopKConsensus(t *testing.T) {
 		if err := eng.Build(); err != nil {
 			t.Fatalf("%s build: %v", cfg.Method, err)
 		}
-		s, err := eng.Query(u)
+		s, err := eng.Query(context.Background(), u)
 		if err != nil {
 			t.Fatalf("%s query: %v", cfg.Method, err)
 		}

@@ -16,6 +16,9 @@ import (
 // by node id for determinism. If fewer than k nonzero candidates exist,
 // zero-score nodes fill the tail (still excluding `exclude`).
 func TopK(scores []float64, k int, exclude int32) []int32 {
+	if k < 0 {
+		k = 0
+	}
 	type cand struct {
 		v int32
 		s float64

@@ -3,8 +3,20 @@
 package limits
 
 import (
+	"errors"
 	"fmt"
 	"time"
+)
+
+// Sentinel errors of the query APIs, shared by SimPush core and the
+// baseline engines so callers can classify failures with errors.Is
+// across every method.
+var (
+	// ErrNodeOutOfRange reports a query or target node id outside [0, n).
+	ErrNodeOutOfRange = errors.New("node out of range")
+	// ErrInvalidOptions reports engine options or per-query overrides with
+	// out-of-domain values.
+	ErrInvalidOptions = errors.New("invalid options")
 )
 
 // ErrIndexTooLarge is returned by an engine's Build when the index would

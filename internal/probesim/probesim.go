@@ -13,6 +13,7 @@
 package probesim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -123,10 +124,10 @@ func (e *Engine) IndexBytes() int64 { return e.prober.MemoryBytes() }
 // NumWalks returns the per-query walk sample size.
 func (e *Engine) NumWalks() int { return e.nWalks }
 
-// Query estimates s(u, ·).
-func (e *Engine) Query(u int32) ([]float64, error) {
+// Query estimates s(u, ·). Cancellation is checked between walk probes.
+func (e *Engine) Query(ctx context.Context, u int32) ([]float64, error) {
 	if !e.g.HasNode(u) {
-		return nil, fmt.Errorf("probesim: node %d out of range", u)
+		return nil, fmt.Errorf("probesim: %w: node %d not in [0, %d)", limits.ErrNodeOutOfRange, u, e.g.N())
 	}
 	var deadline time.Time
 	if e.timeout > 0 {
@@ -135,8 +136,13 @@ func (e *Engine) Query(u int32) ([]float64, error) {
 	scores := make([]float64, e.g.N())
 	inv := 1 / float64(e.nWalks)
 	for i := 0; i < e.nWalks; i++ {
-		if e.timeout > 0 && i&255 == 0 && time.Now().After(deadline) {
-			return nil, limits.ErrQueryTimeout
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if e.timeout > 0 && time.Now().After(deadline) {
+				return nil, limits.ErrQueryTimeout
+			}
 		}
 		w := e.walker.SampleTruncated(u, e.maxDepth)
 		e.probeWalk(u, w, inv, scores)

@@ -1,6 +1,7 @@
 package probesim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -51,7 +52,7 @@ func TestQueryValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Query(99); err == nil {
+	if _, err := e.Query(context.Background(), 99); err == nil {
 		t.Fatal("bad node accepted")
 	}
 }
@@ -65,7 +66,7 @@ func TestSelfScore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := e.Query(7)
+	s, err := e.Query(context.Background(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestCycleZero(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := e.Query(0)
+	s, err := e.Query(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestSharedParent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := e.Query(1)
+	s, err := e.Query(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestAccuracyVsExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, u := range []int32{3, 40, 99} {
-		s, err := e.Query(u)
+		s, err := e.Query(context.Background(), u)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +173,7 @@ func BenchmarkQuery10k(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Query(int32(i) % g.N()); err != nil {
+		if _, err := e.Query(context.Background(), int32(i)%g.N()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -188,12 +189,12 @@ func TestQueryTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.SetQueryTimeout(time.Millisecond)
-	if _, err := e.Query(5); !errors.Is(err, limits.ErrQueryTimeout) {
+	if _, err := e.Query(context.Background(), 5); !errors.Is(err, limits.ErrQueryTimeout) {
 		t.Fatalf("expected timeout, got %v", err)
 	}
 	// disabling the budget makes the query run again
 	e.SetQueryTimeout(0)
-	if _, err := e.Query(5); err != nil {
+	if _, err := e.Query(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}
 }

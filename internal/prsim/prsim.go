@@ -20,6 +20,7 @@
 package prsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -284,13 +285,14 @@ func pairNeverMeets(w *walk.Walker, v int32) bool {
 	}
 }
 
-// Query estimates s(u, ·).
-func (e *Engine) Query(u int32) ([]float64, error) {
+// Query estimates s(u, ·). Cancellation is checked between walk batches
+// of stage 1 and between join batches of stage 2.
+func (e *Engine) Query(ctx context.Context, u int32) ([]float64, error) {
 	if !e.built {
 		return nil, fmt.Errorf("prsim: Query before Build")
 	}
 	if !e.g.HasNode(u) {
-		return nil, fmt.Errorf("prsim: node %d out of range", u)
+		return nil, fmt.Errorf("prsim: %w: node %d not in [0, %d)", limits.ErrNodeOutOfRange, u, e.g.N())
 	}
 	n := e.g.N()
 	scores := make([]float64, n)
@@ -302,8 +304,13 @@ func (e *Engine) Query(u int32) ([]float64, error) {
 	// Stage 1: estimate h^(ℓ)(u, w) by walk aggregation.
 	e.counter.Reset()
 	for i := 0; i < e.nWalks; i++ {
-		if e.timeout > 0 && i&1023 == 0 && time.Now().After(deadline) {
-			return nil, limits.ErrQueryTimeout
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if e.timeout > 0 && time.Now().After(deadline) {
+				return nil, limits.ErrQueryTimeout
+			}
 		}
 		v := u
 		for step := 1; step <= e.maxDepth; step++ {
@@ -323,19 +330,26 @@ func (e *Engine) Query(u int32) ([]float64, error) {
 	// expected number of meeting levels: √c/(1-√c)
 	levelMass := math.Sqrt(e.p.C) / (1 - math.Sqrt(e.p.C))
 	var timedOut bool
+	var ctxErr error
 	joined := 0
 	for l := 1; l < e.counter.MaxLevels(); l++ {
-		if timedOut {
+		if timedOut || ctxErr != nil {
 			break
 		}
 		e.counter.ForEach(l, func(w int32, cnt int32) {
-			if timedOut {
+			if timedOut || ctxErr != nil {
 				return
 			}
 			joined++
-			if e.timeout > 0 && joined&63 == 0 && time.Now().After(deadline) {
-				timedOut = true
-				return
+			if joined&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return
+				}
+				if e.timeout > 0 && time.Now().After(deadline) {
+					timedOut = true
+					return
+				}
 			}
 			pHat := float64(cnt) * invWalks
 			if pHat <= 0 {
@@ -376,6 +390,9 @@ func (e *Engine) Query(u int32) ([]float64, error) {
 				}
 			})
 		})
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	if timedOut {
 		return nil, limits.ErrQueryTimeout

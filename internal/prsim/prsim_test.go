@@ -1,6 +1,7 @@
 package prsim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Query(0); err == nil {
+	if _, err := e.Query(context.Background(), 0); err == nil {
 		t.Fatal("query before build accepted")
 	}
 }
@@ -51,7 +52,7 @@ func TestMetadata(t *testing.T) {
 	if e.NumWalks() < 1 {
 		t.Fatal("no walks")
 	}
-	if _, err := e.Query(99); err == nil {
+	if _, err := e.Query(context.Background(), 99); err == nil {
 		t.Fatal("bad node accepted")
 	}
 }
@@ -84,7 +85,7 @@ func TestDefaultHubCount(t *testing.T) {
 func TestSharedParent(t *testing.T) {
 	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
 	e := built(t, g, Params{EpsA: 0.02, Seed: 4})
-	s, err := e.Query(1)
+	s, err := e.Query(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestAccuracyVsExact(t *testing.T) {
 	const epsA = 0.02
 	e := built(t, g, Params{EpsA: epsA, Seed: 5})
 	for _, u := range []int32{3, 40, 99} {
-		s, err := e.Query(u)
+		s, err := e.Query(context.Background(), u)
 		if err != nil {
 			t.Fatal(err)
 		}

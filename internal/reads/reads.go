@@ -16,6 +16,7 @@
 package reads
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -174,17 +175,23 @@ func (e *Engine) Build() error {
 }
 
 // Query intersects u's stored walks with the inverted buckets.
-func (e *Engine) Query(u int32) ([]float64, error) {
+// Cancellation is checked between walk-set intersections.
+func (e *Engine) Query(ctx context.Context, u int32) ([]float64, error) {
 	if !e.built {
 		return nil, fmt.Errorf("reads: Query before Build")
 	}
 	if !e.g.HasNode(u) {
-		return nil, fmt.Errorf("reads: node %d out of range", u)
+		return nil, fmt.Errorf("reads: %w: node %d not in [0, %d)", limits.ErrNodeOutOfRange, u, e.g.N())
 	}
 	n := e.g.N()
 	scores := make([]float64, n)
 	inc := 1 / float64(e.p.R)
 	for i := 0; i < e.p.R; i++ {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e.metStamp++
 		stamp := e.metStamp
 		off := e.uWalkOff[i]

@@ -1,6 +1,7 @@
 package reads
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -37,7 +38,7 @@ func TestValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Query(0); err == nil {
+	if _, err := e.Query(context.Background(), 0); err == nil {
 		t.Fatal("query before build accepted")
 	}
 }
@@ -50,7 +51,7 @@ func TestMetadata(t *testing.T) {
 	if e.IndexBytes() <= 0 {
 		t.Fatal("index bytes missing")
 	}
-	if _, err := e.Query(55); err == nil {
+	if _, err := e.Query(context.Background(), 55); err == nil {
 		t.Fatal("bad node accepted")
 	}
 }
@@ -58,7 +59,7 @@ func TestMetadata(t *testing.T) {
 func TestSharedParent(t *testing.T) {
 	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
 	e := built(t, g, Params{R: 5000, T: 5, Seed: 2})
-	s, err := e.Query(1)
+	s, err := e.Query(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestSharedParent(t *testing.T) {
 
 func TestCycleZero(t *testing.T) {
 	e := built(t, gen.Cycle(10), Params{R: 200, T: 10, Seed: 3})
-	s, err := e.Query(0)
+	s, err := e.Query(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestAccuracyVsExact(t *testing.T) {
 	}
 	e := built(t, g, Params{R: 2000, T: 12, Seed: 5})
 	for _, u := range []int32{3, 40, 99} {
-		s, err := e.Query(u)
+		s, err := e.Query(context.Background(), u)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func TestFirstMeetingOnly(t *testing.T) {
 	// Complete graph: repeated meetings are common; READS must still count
 	// each sample at most once (scores bounded by 1).
 	e := built(t, gen.Complete(20), Params{R: 500, T: 10, Seed: 7})
-	s, err := e.Query(0)
+	s, err := e.Query(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,8 +157,8 @@ func TestDeterministicIndex(t *testing.T) {
 	}
 	a := built(t, g, Params{R: 50, T: 5, Seed: 42})
 	b := built(t, g, Params{R: 50, T: 5, Seed: 42})
-	sa, _ := a.Query(7)
-	sb, _ := b.Query(7)
+	sa, _ := a.Query(context.Background(), 7)
+	sb, _ := b.Query(context.Background(), 7)
 	for v := range sa {
 		if sa[v] != sb[v] {
 			t.Fatal("same seed produced different indexes")

@@ -49,6 +49,21 @@ func (s *Source) Seed(seed uint64) {
 	}
 }
 
+// State returns the generator's internal state; pass it to Restore to
+// resume the stream exactly where State was taken.
+func (s *Source) State() (a, b, c, d uint64) {
+	return s.s0, s.s1, s.s2, s.s3
+}
+
+// Restore resets the generator to a state previously returned by State.
+func (s *Source) Restore(a, b, c, d uint64) {
+	if a|b|c|d == 0 {
+		// Never adopt the forbidden all-zero state.
+		d = 0x9e3779b97f4a7c15
+	}
+	s.s0, s.s1, s.s2, s.s3 = a, b, c, d
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Source) Uint64() uint64 {
 	r := bits.RotateLeft64(s.s0+s.s3, 23) + s.s0

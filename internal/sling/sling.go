@@ -13,6 +13,7 @@
 package sling
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -248,12 +249,13 @@ func meetAfterSplit(w *walk.Walker, v int32) bool {
 }
 
 // Query runs a forward push from u and joins the reverse lists.
-func (e *Engine) Query(u int32) ([]float64, error) {
+// Cancellation is checked once per forward-push level.
+func (e *Engine) Query(ctx context.Context, u int32) ([]float64, error) {
 	if !e.built {
 		return nil, fmt.Errorf("sling: Query before Build")
 	}
 	if !e.g.HasNode(u) {
-		return nil, fmt.Errorf("sling: node %d out of range", u)
+		return nil, fmt.Errorf("sling: %w: node %d not in [0, %d)", limits.ErrNodeOutOfRange, u, e.g.N())
 	}
 	scores := make([]float64, e.g.N())
 	cur, nxt := e.cur, e.nxt
@@ -261,6 +263,15 @@ func (e *Engine) Query(u int32) ([]float64, error) {
 	cur[u] = 1
 	curT = append(curT, u)
 	for l := 1; l <= e.maxDepth && len(curT) > 0; l++ {
+		if err := ctx.Err(); err != nil {
+			// Zero the shared scratch before aborting.
+			for _, v := range curT {
+				cur[v] = 0
+			}
+			e.cur, e.nxt = cur, nxt
+			e.curT, e.nxtT = curT[:0], nxtT[:0]
+			return nil, err
+		}
 		// advance the forward push one level: h^(l)(u, ·)
 		for _, v := range curT {
 			hv := cur[v]

@@ -1,6 +1,7 @@
 package sling
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -37,7 +38,7 @@ func TestValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Query(0); err == nil {
+	if _, err := e.Query(context.Background(), 0); err == nil {
 		t.Fatal("query before build accepted")
 	}
 }
@@ -50,7 +51,7 @@ func TestMetadata(t *testing.T) {
 	if e.IndexBytes() <= 0 {
 		t.Fatal("index bytes missing")
 	}
-	if _, err := e.Query(77); err == nil {
+	if _, err := e.Query(context.Background(), 77); err == nil {
 		t.Fatal("bad node accepted")
 	}
 }
@@ -72,7 +73,7 @@ func TestEtaOnCycle(t *testing.T) {
 func TestSharedParent(t *testing.T) {
 	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
 	e := built(t, g, Params{EpsA: 0.01, Seed: 3})
-	s, err := e.Query(1)
+	s, err := e.Query(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestAccuracyVsExact(t *testing.T) {
 	const epsA = 0.02
 	e := built(t, g, Params{EpsA: epsA, Seed: 5})
 	for _, u := range []int32{3, 40, 99} {
-		s, err := e.Query(u)
+		s, err := e.Query(context.Background(), u)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -16,11 +16,13 @@
 package topsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"github.com/simrank/simpush/internal/graph"
+	"github.com/simrank/simpush/internal/limits"
 	"github.com/simrank/simpush/internal/push"
 )
 
@@ -101,10 +103,11 @@ func (e *Engine) IndexBytes() int64 {
 	return e.prober.MemoryBytes() + int64(len(e.mass))*8
 }
 
-// Query estimates s(u, ·).
-func (e *Engine) Query(u int32) ([]float64, error) {
+// Query estimates s(u, ·). Cancellation is checked once per expansion
+// level.
+func (e *Engine) Query(ctx context.Context, u int32) ([]float64, error) {
 	if !e.g.HasNode(u) {
-		return nil, fmt.Errorf("topsim: node %d out of range", u)
+		return nil, fmt.Errorf("topsim: %w: node %d not in [0, %d)", limits.ErrNodeOutOfRange, u, e.g.N())
 	}
 	scores := make([]float64, e.g.N())
 	sqrtC := math.Sqrt(e.p.C)
@@ -116,6 +119,9 @@ func (e *Engine) Query(u int32) ([]float64, error) {
 	}
 	frontier := []frontierEntry{{u, 1}}
 	for l := 1; l <= e.p.T && len(frontier) > 0; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, fe := range frontier {
 			in := e.g.In(fe.node)
 			if len(in) == 0 {

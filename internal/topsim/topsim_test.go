@@ -1,6 +1,7 @@
 package topsim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestMetadata(t *testing.T) {
 	if e.Setting() == "" || e.IndexBytes() <= 0 {
 		t.Fatal("setting/memory missing")
 	}
-	if _, err := e.Query(9); err == nil {
+	if _, err := e.Query(context.Background(), 9); err == nil {
 		t.Fatal("bad node accepted")
 	}
 }
@@ -46,7 +47,7 @@ func TestSharedParent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := e.Query(1)
+	s, err := e.Query(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestCycleZero(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := e.Query(0)
+	s, err := e.Query(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestLooseAccuracy(t *testing.T) {
 		t.Fatal(err)
 	}
 	u := int32(17)
-	s, err := e.Query(u)
+	s, err := e.Query(context.Background(), u)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestHighDegreeTrimming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := e.Query(0)
+	s, err := e.Query(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestHighDegreeTrimming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := e2.Query(0)
+	s2, err := e2.Query(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,11 +147,11 @@ func TestTopHKeepsStrongest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss, err := small.Query(7)
+	ss, err := small.Query(context.Background(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sl, err := large.Query(7)
+	sl, err := large.Query(context.Background(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package tsf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -154,13 +155,13 @@ func (e *Engine) Build() error {
 }
 
 // Query samples Rq walks from u per one-way graph and harvests descendant
-// sets.
-func (e *Engine) Query(u int32) ([]float64, error) {
+// sets. Cancellation is checked between one-way graphs.
+func (e *Engine) Query(ctx context.Context, u int32) ([]float64, error) {
 	if !e.built {
 		return nil, fmt.Errorf("tsf: Query before Build")
 	}
 	if !e.g.HasNode(u) {
-		return nil, fmt.Errorf("tsf: node %d out of range", u)
+		return nil, fmt.Errorf("tsf: %w: node %d not in [0, %d)", limits.ErrNodeOutOfRange, u, e.g.N())
 	}
 	n := e.g.N()
 	scores := make([]float64, n)
@@ -172,6 +173,9 @@ func (e *Engine) Query(u int32) ([]float64, error) {
 	}
 	for gi := range e.graphs {
 		ow := &e.graphs[gi]
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if e.timeout > 0 && time.Now().After(deadline) {
 			return nil, limits.ErrQueryTimeout
 		}

@@ -1,6 +1,7 @@
 package tsf
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -37,7 +38,7 @@ func TestValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Query(0); err == nil {
+	if _, err := e.Query(context.Background(), 0); err == nil {
 		t.Fatal("query before build accepted")
 	}
 }
@@ -50,7 +51,7 @@ func TestMetadata(t *testing.T) {
 	if e.IndexBytes() <= 0 {
 		t.Fatal("index bytes missing")
 	}
-	if _, err := e.Query(55); err == nil {
+	if _, err := e.Query(context.Background(), 55); err == nil {
 		t.Fatal("bad node accepted")
 	}
 }
@@ -75,7 +76,7 @@ func TestOneWayGraphStructure(t *testing.T) {
 func TestSharedParent(t *testing.T) {
 	g := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
 	e := built(t, g, Params{Rg: 300, Rq: 20, Seed: 3})
-	s, err := e.Query(1)
+	s, err := e.Query(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestSharedParent(t *testing.T) {
 
 func TestCycleZero(t *testing.T) {
 	e := built(t, gen.Cycle(10), Params{Rg: 50, Rq: 5, Seed: 4})
-	s, err := e.Query(0)
+	s, err := e.Query(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestLooseAccuracy(t *testing.T) {
 	}
 	e := built(t, g, Params{Rg: 300, Rq: 20, Seed: 6})
 	u := int32(11)
-	s, err := e.Query(u)
+	s, err := e.Query(context.Background(), u)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,21 @@ func (w *Walker) Split() *Walker {
 	return &Walker{g: w.g, sqrtC: w.sqrtC, rng: w.rng.Split(), buf: make([]int32, 0, 64)}
 }
 
+// Reseed resets the walker's random stream, making everything sampled
+// afterwards deterministic in seed alone.
+func (w *Walker) Reseed(seed uint64) {
+	w.rng.Seed(seed)
+}
+
+// PushSeed reseeds the walker for a bounded scope and returns a restore
+// function that resumes the original stream exactly where it left off —
+// the seeded scope leaves no trace on later sampling.
+func (w *Walker) PushSeed(seed uint64) (restore func()) {
+	a, b, c, d := w.rng.State()
+	w.rng.Seed(seed)
+	return func() { w.rng.Restore(a, b, c, d) }
+}
+
 // Next performs one step of a √c-walk currently at v. It returns the next
 // node and true, or (v, false) if the walk stops (decay or dangling node).
 func (w *Walker) Next(v int32) (int32, bool) {

@@ -10,12 +10,20 @@
 // guarantee ε that holds with probability 1−δ — with no precomputation,
 // so graphs can change between queries at zero maintenance cost.
 //
-// Quick start:
+// The entry point is Client, which is safe for concurrent use by any
+// number of goroutines (it pools per-worker engines internally) and whose
+// query methods take a context.Context and per-query options:
 //
 //	g, _ := simpush.LoadEdgeList("graph.txt", false)
-//	eng, _ := simpush.New(g, simpush.Options{Epsilon: 0.02})
-//	res, _ := eng.SingleSource(42)
-//	for _, r := range simpush.TopK(res.Scores, 10, 42) { ... }
+//	c, _ := simpush.NewClient(g, simpush.Options{Epsilon: 0.02})
+//	res, _ := c.SingleSource(ctx, 42)
+//	top, _ := c.TopK(ctx, 42, 10, simpush.WithEpsilon(0.005))
+//
+// Deadlines interrupt queries mid-stage (ctx.Err() is returned), and
+// validation failures wrap the sentinel errors ErrNodeOutOfRange and
+// ErrInvalidOptions for errors.Is classification. The v1 Engine API is
+// still available as a deprecated wrapper; see README.md for the
+// migration table.
 //
 // Besides SimPush itself, the library ships faithful implementations of
 // the six baselines the paper evaluates against (ProbeSim, PRSim, SLING,
@@ -26,6 +34,7 @@
 package simpush
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -42,9 +51,10 @@ import (
 // Build one with LoadEdgeList, FromEdges or the synthetic generators.
 type Graph = graph.Graph
 
-// Options configures a SimPush engine: decay factor C (default 0.6),
+// Options configures a SimPush client: decay factor C (default 0.6),
 // error bound Epsilon (default 0.02), failure probability Delta
-// (default 1e-4), and the level-detection mode.
+// (default 1e-4), and the level-detection mode. Per-query deviations are
+// expressed with QueryOption values instead of new clients.
 type Options = core.Options
 
 // Result is a single-source answer: Scores[v] ≈ s(u, v), plus the source
@@ -59,61 +69,55 @@ type AttentionInfo = core.AttentionInfo
 // baselines for comparison studies.
 type Method = engine.Engine
 
-// Engine answers single-source SimRank queries with SimPush. One Engine
-// serves one graph; it keeps reusable scratch, so share it across queries
-// from the same goroutine (create one Engine per goroutine for parallel
-// query streams — construction is O(n) and index-free).
+// Engine is the deprecated v1 single-goroutine query API, kept as a thin
+// wrapper so existing code compiles. Every method delegates to a Client
+// with context.Background().
+//
+// Deprecated: use Client, whose methods are concurrency-safe, take a
+// context and accept per-query options.
 type Engine struct {
-	sp *core.SimPush
+	c *Client
 }
 
-// New creates a SimPush engine for g.
+// New creates a v1 engine for g.
+//
+// Deprecated: use NewClient.
 func New(g *Graph, opt Options) (*Engine, error) {
-	sp, err := core.New(g, opt)
+	c, err := NewClient(g, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{sp: sp}, nil
+	return &Engine{c: c}, nil
 }
+
+// Client returns the v2 client backing this engine.
+func (e *Engine) Client() *Client { return e.c }
 
 // SingleSource estimates s(u, v) for every v, with |s−s̃| ≤ ε holding for
 // every v with probability at least 1−δ (Theorem 1 of the paper).
+//
+// Deprecated: use Client.SingleSource.
 func (e *Engine) SingleSource(u int32) (*Result, error) {
-	return e.sp.Query(u)
+	return e.c.SingleSource(context.Background(), u)
 }
 
 // TopK runs a single-source query and returns the k most similar nodes
 // (excluding u itself) in descending score order.
+//
+// Deprecated: use Client.TopK.
 func (e *Engine) TopK(u int32, k int) ([]Ranked, error) {
-	res, err := e.sp.Query(u)
-	if err != nil {
-		return nil, err
-	}
-	ids := eval.TopK(res.Scores, k, u)
-	out := make([]Ranked, len(ids))
-	for i, v := range ids {
-		out[i] = Ranked{Node: v, Score: res.Scores[v]}
-	}
-	return out, nil
+	return e.c.TopK(context.Background(), u, k)
 }
 
-// Pair estimates the single SimRank value s(u, v). It runs a full
-// single-source query from u (SimPush has no cheaper primitive — the
-// paper's problem is inherently one-to-all) and reads off v, so prefer
-// SingleSource when several targets share a source.
+// Pair estimates the single SimRank value s(u, v).
+//
+// Deprecated: use Client.Pair.
 func (e *Engine) Pair(u, v int32) (float64, error) {
-	res, err := e.sp.Query(u)
-	if err != nil {
-		return 0, err
-	}
-	if !e.sp.Graph().HasNode(v) {
-		return 0, fmt.Errorf("simpush: target node %d out of range", v)
-	}
-	return res.Scores[v], nil
+	return e.c.Pair(context.Background(), u, v)
 }
 
 // Graph returns the engine's graph.
-func (e *Engine) Graph() *Graph { return e.sp.Graph() }
+func (e *Engine) Graph() *Graph { return e.c.Graph() }
 
 // Ranked is one entry of a top-k result.
 type Ranked struct {
@@ -134,14 +138,11 @@ func FromEdges(from, to []int32, undirected bool) (*Graph, error) {
 }
 
 // TopK returns the k highest-scoring nodes of a score vector, excluding
-// `exclude` (pass a negative value to exclude nothing).
+// `exclude` (pass a negative value to exclude nothing). k is clamped to
+// the candidate count; k <= 0 yields an empty result.
 func TopK(scores []float64, k int, exclude int32) []Ranked {
 	ids := eval.TopK(scores, k, exclude)
-	out := make([]Ranked, len(ids))
-	for i, v := range ids {
-		out[i] = Ranked{Node: v, Score: scores[v]}
-	}
-	return out
+	return rankedFrom(scores, ids, k)
 }
 
 // Baselines lists the six baseline method names accepted by NewMethod,
@@ -155,7 +156,7 @@ func Baselines() []string {
 // finest/slowest). Index-based methods must be Built before querying.
 func NewMethod(name string, g *Graph, rank int, seed uint64) (Method, error) {
 	if rank < 0 || rank > 4 {
-		return nil, fmt.Errorf("simpush: setting rank %d out of range [0,4]", rank)
+		return nil, fmt.Errorf("simpush: %w: setting rank %d out of range [0,4]", ErrInvalidOptions, rank)
 	}
 	cfgs, err := engine.Sweep(name, engine.Caps{})
 	if err != nil {

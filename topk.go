@@ -1,11 +1,19 @@
 package simpush
 
 import (
+	"context"
 	"fmt"
 
-	"github.com/simrank/simpush/internal/core"
 	"github.com/simrank/simpush/internal/eval"
 )
+
+// AdaptiveTopK is the result of an adaptive top-k search: the ranked
+// answer, the precision it was accepted at, and how many query rounds ran.
+type AdaptiveTopK struct {
+	Results []Ranked
+	Epsilon float64 // accepted precision
+	Rounds  int     // number of queries executed
+}
 
 // TopKAdaptive answers a top-k single-source query with automatic
 // precision selection: it starts from a coarse error bound and halves it
@@ -14,18 +22,14 @@ import (
 // floor epsilon is reached. For top-k workloads this is typically several
 // times faster than always querying at the finest setting.
 //
-// startEps and floorEps bound the search (defaults 0.08 and 0.002 when
-// zero). The result carries the epsilon that the answer was accepted at.
-type AdaptiveTopK struct {
-	Results []Ranked
-	Epsilon float64 // accepted precision
-	Rounds  int     // number of queries executed
-}
-
-// TopKAdaptive runs the adaptive top-k search from u.
-func (e *Engine) TopKAdaptive(u int32, k int, startEps, floorEps float64) (*AdaptiveTopK, error) {
+// All rounds run on a single pooled engine via per-query ε overrides, so
+// the search reuses one set of scratch instead of building an engine per
+// round. startEps and floorEps bound the search (defaults 0.08 and 0.002
+// when zero); other QueryOption values apply to every round, except that
+// WithEpsilon is overridden by the round's ε.
+func (c *Client) TopKAdaptive(ctx context.Context, u int32, k int, startEps, floorEps float64, opts ...QueryOption) (*AdaptiveTopK, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("simpush: k must be >= 1, got %d", k)
+		return nil, fmt.Errorf("simpush: %w: k must be >= 1, got %d", ErrInvalidOptions, k)
 	}
 	if startEps == 0 {
 		startEps = 0.08
@@ -36,17 +40,18 @@ func (e *Engine) TopKAdaptive(u int32, k int, startEps, floorEps float64) (*Adap
 	if startEps < floorEps {
 		startEps = floorEps
 	}
-	base := e.sp.Options()
-	g := e.sp.Graph()
+	eng, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer c.release(eng)
+
+	base := buildQueryOpts(opts)
 	out := &AdaptiveTopK{}
 	for eps := startEps; ; eps /= 2 {
-		opt := base
-		opt.Epsilon = eps
-		eng, err := core.New(g, opt)
-		if err != nil {
-			return nil, err
-		}
-		res, err := eng.Query(u)
+		qo := base
+		qo.Epsilon = eps
+		res, err := eng.QueryCtx(ctx, u, qo)
 		if err != nil {
 			return nil, err
 		}
@@ -63,6 +68,13 @@ func (e *Engine) TopKAdaptive(u int32, k int, startEps, floorEps float64) (*Adap
 	}
 }
 
+// TopKAdaptive runs the adaptive top-k search from u.
+//
+// Deprecated: use Client.TopKAdaptive.
+func (e *Engine) TopKAdaptive(u int32, k int, startEps, floorEps float64) (*AdaptiveTopK, error) {
+	return e.c.TopKAdaptive(context.Background(), u, k, startEps, floorEps)
+}
+
 // stableTopK reports whether the gap between the k-th and (k+1)-th scores
 // exceeds 2ε: since every estimate is within ε of the truth (one-sided
 // underestimates within ε, no overestimate), a 2ε gap certifies the set.
@@ -75,7 +87,12 @@ func stableTopK(scores []float64, ids []int32, k int, eps float64) bool {
 	return kth-next > 2*eps
 }
 
+// rankedFrom materializes Ranked entries for at most k of the given ids;
+// k <= 0 yields an empty slice.
 func rankedFrom(scores []float64, ids []int32, k int) []Ranked {
+	if k < 0 {
+		k = 0
+	}
 	if len(ids) > k {
 		ids = ids[:k]
 	}
