@@ -2,8 +2,6 @@ package simpush
 
 import (
 	"context"
-
-	"github.com/simrank/simpush/internal/graph"
 )
 
 // BatchSingleSource answers many single-source queries concurrently — the
@@ -21,21 +19,4 @@ func BatchSingleSource(g *Graph, queries []int32, opt Options, parallelism int) 
 		return nil, err
 	}
 	return c.BatchSingleSource(context.Background(), queries, parallelism)
-}
-
-// DynamicGraph is a mutable graph for evolving workloads: edges are added
-// and removed over time and Snapshot returns an immutable graph for
-// querying. Because SimPush is index-free, a fresh client on the snapshot
-// reflects every update with no maintenance beyond the CSR rebuild —
-// the realtime scenario of the paper's introduction.
-type DynamicGraph = graph.Dynamic
-
-// NewDynamicGraph returns an empty dynamic graph with capacity hints.
-func NewDynamicGraph(nHint int32, mHint int) *DynamicGraph {
-	return graph.NewDynamic(nHint, mHint)
-}
-
-// DynamicFromGraph seeds a dynamic graph from an immutable one.
-func DynamicFromGraph(g *Graph) *DynamicGraph {
-	return graph.FromGraph(g)
 }

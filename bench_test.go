@@ -198,6 +198,82 @@ func BenchmarkIndexBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkDynamicRequery measures the serving cost of an insert-then-query
+// workload on an evolving graph, comparing the old orchestration (snapshot,
+// throw the Client away, rebuild every engine's O(n) scratch) against the
+// live-graph API (one long-lived Client whose engines rebind in place).
+// The delta is the allocation churn the GraphSource redesign removes from
+// every update cycle.
+func BenchmarkDynamicRequery(b *testing.B) {
+	const (
+		n       = 50000
+		workers = 4
+	)
+	ctx := context.Background()
+	opt := Options{Epsilon: 0.05, Seed: 11}
+	seedDynamic := func(b *testing.B) *DynamicGraph {
+		b.Helper()
+		base, err := SyntheticWebGraph(n, 10, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return DynamicFromGraph(base)
+	}
+	mutate := func(b *testing.B, d *DynamicGraph, i int) {
+		b.Helper()
+		f := int32(i*2654435761) % n
+		if f < 0 {
+			f = -f
+		}
+		if err := d.AddEdge(f, (f+1)%n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queries := func(i int) []int32 {
+		qs := make([]int32, workers)
+		for j := range qs {
+			qs[j] = int32((i*workers + j) * 6151 % n)
+		}
+		return qs
+	}
+
+	b.Run("rebuild-client", func(b *testing.B) {
+		d := seedDynamic(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mutate(b, d, i)
+			g, err := d.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := NewClient(g, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.BatchSingleSource(ctx, queries(i), workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("rebind", func(b *testing.B) {
+		d := seedDynamic(b)
+		c, err := NewClient(d, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mutate(b, d, i)
+			if _, err := c.BatchSingleSource(ctx, queries(i), workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkBatchThroughput measures multi-query throughput of the batch
 // API with all cores.
 func BenchmarkBatchThroughput(b *testing.B) {

@@ -61,9 +61,19 @@ func buildQueryOpts(opts []QueryOption) core.QueryOpts {
 }
 
 // Client is the concurrency-safe entry point for SimRank queries: one
-// Client per graph serves any number of goroutines. It owns a sync.Pool of
-// per-worker core engines, so concurrent queries never share scratch and
-// sequential queries reuse it — there is no per-query engine construction.
+// Client per graph source serves any number of goroutines. It owns a
+// sync.Pool of per-worker core engines, so concurrent queries never share
+// scratch and sequential queries reuse it — there is no per-query engine
+// construction.
+//
+// A Client is bound to a GraphSource, not to one frozen graph. At the
+// start of every query it takes the source's current snapshot and rebinds
+// the checked-out engine to it in place (reusing the engine's O(n)
+// scratch), so a Client over a *DynamicGraph always answers on the newest
+// committed edges with no caller-side snapshotting and no Client rebuild —
+// the serving half of the paper's index-free claim. Over a static *Graph
+// this reduces to the fixed-graph behavior. Multi-call workflows that need
+// one consistent state across several queries pin it with View.
 //
 // All query methods take a context; cancellation and deadlines are
 // honored inside the algorithm stages (between walk batches, Source-Push
@@ -75,10 +85,20 @@ func buildQueryOpts(opts []QueryOption) core.QueryOpts {
 // reproducible single queries pass WithSeed (seeded queries run in a
 // bounded seed scope and never perturb other streams). A single-goroutine
 // stream always runs on the client's pinned primary engine, so it is
-// reproducible in (graph, options, query order) exactly like a v1 Engine.
+// reproducible in (snapshot sequence, options, query order) exactly like
+// a v1 Engine.
 type Client struct {
-	g   *Graph
+	src GraphSource
 	opt Options
+
+	// cur is the highest-epoch snapshot successfully observed from the
+	// source (advanced epoch-forward-only by snapshot(), never by
+	// pinned-view queries, so it cannot regress to a stale pin or to a
+	// racing older observation); pool.New constructs overflow engines
+	// against it so their scratch is born at the right size (acquire
+	// rebinds them anyway), and Graph() falls back to it when the source
+	// cannot materialize.
+	cur atomic.Pointer[observedSnap]
 
 	// primary is the engine carrying the client's base seed. It is pinned
 	// for the client's lifetime (a sync.Pool may drop idle entries at any
@@ -92,10 +112,17 @@ type Client struct {
 	seq  atomic.Uint64
 }
 
-// NewClient validates opt and returns a Client for g. Construction is
-// index-free: it allocates one engine's O(n) scratch and nothing else.
-func NewClient(g *Graph, opt Options) (*Client, error) {
-	c := &Client{g: g, opt: opt}
+// NewClient validates opt and returns a Client bound to src. Both *Graph
+// (static) and *DynamicGraph (live, versioned) are graph sources, so
+// existing NewClient(g, opt) calls keep working unchanged. Construction is
+// index-free: it takes one snapshot, allocates one engine's O(n) scratch
+// and nothing else.
+func NewClient(src GraphSource, opt Options) (*Client, error) {
+	c := &Client{src: src, opt: opt}
+	g, _, err := c.snapshot()
+	if err != nil {
+		return nil, err
+	}
 	first, err := core.New(g, c.workerOptions(0))
 	if err != nil {
 		return nil, err
@@ -103,10 +130,13 @@ func NewClient(g *Graph, opt Options) (*Client, error) {
 	c.primary = first
 	c.primaryFree.Store(first)
 	c.pool.New = func() any {
-		eng, err := core.New(g, c.workerOptions(c.seq.Add(1)))
+		eng, err := core.New(c.cur.Load().g, c.workerOptions(c.seq.Add(1)))
 		if err != nil {
-			// Unreachable: the same options validated in NewClient.
-			return nil
+			// Options were validated at NewClient, so this is effectively
+			// unreachable — but if it ever fires, hand the real error to
+			// acquire instead of a nil that would masquerade as something
+			// else.
+			return err
 		}
 		return eng
 	}
@@ -121,21 +151,64 @@ func (c *Client) workerOptions(worker uint64) Options {
 	return opt
 }
 
-// acquire checks an engine out — the pinned primary when it is free
-// (keeping sequential streams on one deterministic engine), otherwise an
-// overflow engine from the pool; release must be called when the query is
-// done.
-func (c *Client) acquire() (*core.SimPush, error) {
+// observedSnap pairs a successfully observed snapshot with its epoch, so
+// cur can be advanced forward-only under racing observations.
+type observedSnap struct {
+	g     *Graph
+	epoch uint64
+}
+
+// snapshot observes the source's current committed state and remembers it
+// as the client's freshest known graph.
+func (c *Client) snapshot() (*Graph, uint64, error) {
+	g, epoch, err := c.src.GraphSnapshot()
+	if err != nil {
+		return nil, 0, fmt.Errorf("simpush: graph snapshot: %w", err)
+	}
+	if g == nil {
+		return nil, 0, fmt.Errorf("simpush: %w: graph source returned a nil snapshot", ErrInvalidOptions)
+	}
+	// Advance cur only forward: a descheduled older observation must not
+	// overwrite a newer one another goroutine already recorded.
+	next := &observedSnap{g: g, epoch: epoch}
+	for {
+		old := c.cur.Load()
+		if old != nil && old.epoch >= epoch {
+			break
+		}
+		if c.cur.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	return g, epoch, nil
+}
+
+// acquireAt checks an engine out and rebinds it to the given snapshot —
+// the pinned primary when it is free (keeping sequential streams on one
+// deterministic engine), otherwise an overflow engine from the pool;
+// release must be called when the query is done.
+func (c *Client) acquireAt(g *Graph) (*core.SimPush, error) {
 	if eng := c.primaryFree.Swap(nil); eng != nil {
+		eng.Rebind(g)
 		return eng, nil
 	}
-	if eng, ok := c.pool.Get().(*core.SimPush); ok && eng != nil {
-		return eng, nil
+	switch v := c.pool.Get().(type) {
+	case *core.SimPush:
+		v.Rebind(g)
+		return v, nil
+	case error:
+		return nil, fmt.Errorf("simpush: pooled engine construction: %w", v)
+	default:
+		return nil, fmt.Errorf("simpush: pooled engine construction returned %T", v)
 	}
-	return nil, fmt.Errorf("simpush: %w: pooled engine construction failed", ErrInvalidOptions)
 }
 
 func (c *Client) release(eng *core.SimPush) {
+	// Park the engine on the freshest observed snapshot so an idle engine
+	// never keeps a superseded O(n+m) graph alive between queries (the
+	// engine is still exclusively owned here; acquire rebinds again
+	// anyway).
+	eng.Rebind(c.cur.Load().g)
 	if eng == c.primary {
 		c.primaryFree.Store(eng)
 		return
@@ -143,16 +216,45 @@ func (c *Client) release(eng *core.SimPush) {
 	c.pool.Put(eng)
 }
 
-// Graph returns the client's graph.
-func (c *Client) Graph() *Graph { return c.g }
+// Source returns the graph source the client serves.
+func (c *Client) Source() GraphSource { return c.src }
+
+// Graph returns the source's current snapshot. If the source cannot
+// materialize one (e.g. a pending deletion of a nonexistent edge), the
+// most recent successfully observed snapshot is returned instead; query
+// methods surface such errors. For a static source this is always the
+// graph the client was built on.
+func (c *Client) Graph() *Graph {
+	if g, _, err := c.snapshot(); err == nil {
+		return g
+	}
+	return c.cur.Load().g
+}
+
+// Epoch returns the epoch of the source's current committed state (0 for
+// a static source). Like any unpinned observation it may be stale by the
+// time it returns; use View for an epoch that stays attached to a graph.
+func (c *Client) Epoch() (uint64, error) {
+	_, epoch, err := c.snapshot()
+	return epoch, err
+}
 
 // Options returns the engine-level options the client was built with.
 func (c *Client) Options() Options { return c.opt }
 
 // SingleSource estimates s(u, v) for every v, with |s−s̃| ≤ ε holding for
-// every v with probability at least 1−δ (Theorem 1 of the paper).
+// every v with probability at least 1−δ (Theorem 1 of the paper). The
+// query runs on the source's newest committed snapshot.
 func (c *Client) SingleSource(ctx context.Context, u int32, opts ...QueryOption) (*Result, error) {
-	eng, err := c.acquire()
+	g, _, err := c.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return c.singleSourceOn(ctx, g, u, opts)
+}
+
+func (c *Client) singleSourceOn(ctx context.Context, g *Graph, u int32, opts []QueryOption) (*Result, error) {
+	eng, err := c.acquireAt(g)
 	if err != nil {
 		return nil, err
 	}
@@ -175,13 +277,21 @@ func (c *Client) TopK(ctx context.Context, u int32, k int, opts ...QueryOption) 
 // Pair estimates the single SimRank value s(u, v). It runs a full
 // single-source query from u (SimPush has no cheaper primitive — the
 // paper's problem is inherently one-to-all) and reads off v, so prefer
-// SingleSource when several targets share a source. Both endpoints are
-// validated before any work is done.
+// SingleSource when several targets share a source node. Both endpoints
+// are validated against the same snapshot the query runs on.
 func (c *Client) Pair(ctx context.Context, u, v int32, opts ...QueryOption) (float64, error) {
-	if !c.g.HasNode(v) {
-		return 0, fmt.Errorf("simpush: %w: target node %d not in [0, %d)", ErrNodeOutOfRange, v, c.g.N())
+	g, _, err := c.snapshot()
+	if err != nil {
+		return 0, err
 	}
-	res, err := c.SingleSource(ctx, u, opts...)
+	return c.pairOn(ctx, g, u, v, opts)
+}
+
+func (c *Client) pairOn(ctx context.Context, g *Graph, u, v int32, opts []QueryOption) (float64, error) {
+	if !g.HasNode(v) {
+		return 0, fmt.Errorf("simpush: %w: target node %d not in [0, %d)", ErrNodeOutOfRange, v, g.N())
+	}
+	res, err := c.singleSourceOn(ctx, g, u, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -189,12 +299,23 @@ func (c *Client) Pair(ctx context.Context, u, v int32, opts ...QueryOption) (flo
 }
 
 // BatchSingleSource answers many single-source queries concurrently over
-// the client's engine pool; results[i] corresponds to queries[i]. Workers
-// check engines out of the shared pool, so back-to-back batches reuse the
-// same scratch. A failed or cancelled query cancels the rest of the batch.
+// the client's engine pool; results[i] corresponds to queries[i]. The
+// whole batch is pinned to one snapshot — every query in it observes the
+// same committed graph state even while the source keeps mutating.
+// Workers check engines out of the shared pool, so back-to-back batches
+// reuse the same scratch. A failed or cancelled query cancels the rest of
+// the batch.
 //
 // parallelism <= 0 selects GOMAXPROCS workers.
 func (c *Client) BatchSingleSource(ctx context.Context, queries []int32, parallelism int, opts ...QueryOption) ([]*Result, error) {
+	g, _, err := c.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return c.batchSingleSourceOn(ctx, g, queries, parallelism, opts)
+}
+
+func (c *Client) batchSingleSourceOn(ctx context.Context, g *Graph, queries []int32, parallelism int, opts []QueryOption) ([]*Result, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -205,8 +326,8 @@ func (c *Client) BatchSingleSource(ctx context.Context, queries []int32, paralle
 		parallelism = 1
 	}
 	for _, u := range queries {
-		if !c.g.HasNode(u) {
-			return nil, fmt.Errorf("simpush: %w: query node %d not in [0, %d)", ErrNodeOutOfRange, u, c.g.N())
+		if !g.HasNode(u) {
+			return nil, fmt.Errorf("simpush: %w: query node %d not in [0, %d)", ErrNodeOutOfRange, u, g.N())
 		}
 	}
 	qo := buildQueryOpts(opts)
@@ -221,7 +342,7 @@ func (c *Client) BatchSingleSource(ctx context.Context, queries []int32, paralle
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			eng, err := c.acquire()
+			eng, err := c.acquireAt(g)
 			if err != nil {
 				errs[w] = err
 				cancel()

@@ -72,8 +72,15 @@ func run(ctx context.Context, path string, binary, undirected bool, u int32, k i
 		if err != nil {
 			return err
 		}
+		// Pin one snapshot for the query + top-k read-off. On a static file
+		// graph this is free; against a live GraphSource it guarantees both
+		// speak about the same committed epoch.
+		view, err := client.View(ctx)
+		if err != nil {
+			return err
+		}
 		t1 := time.Now()
-		res, err := client.SingleSource(ctx, u, simpush.WithSeed(seed))
+		res, err := view.SingleSource(ctx, u, simpush.WithSeed(seed))
 		if err != nil {
 			return err
 		}

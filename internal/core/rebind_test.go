@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+)
+
+// seededQuery runs a query with a pinned walk seed, so results depend only
+// on (graph, options, seed) — comparable across engines and histories.
+func seededQuery(t *testing.T, sp *SimPush, u int32, seed uint64) *Result {
+	t.Helper()
+	res, err := sp.QueryCtx(context.Background(), u, QueryOpts{Seed: seed, HasSeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// A rebound engine must answer exactly like a fresh engine built on the
+// same snapshot: rebinding changes the graph, not the algorithm.
+func TestRebindMatchesFreshEngine(t *testing.T) {
+	small, err := gen.ErdosRenyi(200, 1200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := gen.ErdosRenyi(3000, 24000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Epsilon: 0.02, Seed: 3}
+	sp := mustEngine(t, small, opt)
+	// Warm the scratch (slots, counters, residues) on the small graph.
+	for _, u := range []int32{0, 17, 42} {
+		if _, err := sp.Query(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Grow: rebind to a 15x larger graph and compare against a fresh engine.
+	sp.Rebind(big)
+	if sp.Graph() != big {
+		t.Fatal("Rebind did not swap the graph")
+	}
+	fresh := mustEngine(t, big, opt)
+	for _, u := range []int32{5, 1234, 2999} {
+		got := seededQuery(t, sp, u, 77)
+		want := seededQuery(t, fresh, u, 77)
+		if got.L != want.L || len(got.Attention) != len(want.Attention) {
+			t.Fatalf("u=%d: L=%d att=%d, fresh L=%d att=%d",
+				u, got.L, len(got.Attention), want.L, len(want.Attention))
+		}
+		if len(got.Scores) != int(big.N()) {
+			t.Fatalf("u=%d: score vector sized %d, want %d", u, len(got.Scores), big.N())
+		}
+		for v := range got.Scores {
+			if got.Scores[v] != want.Scores[v] {
+				t.Fatalf("u=%d v=%d: rebound %v fresh %v", u, v, got.Scores[v], want.Scores[v])
+			}
+		}
+	}
+
+	// Shrink: rebind back down; scratch larger than n must not leak state.
+	sp.Rebind(small)
+	freshSmall := mustEngine(t, small, opt)
+	got := seededQuery(t, sp, 42, 9)
+	want := seededQuery(t, freshSmall, 42, 9)
+	if len(got.Scores) != int(small.N()) {
+		t.Fatalf("shrunk score vector sized %d, want %d", len(got.Scores), small.N())
+	}
+	for v := range got.Scores {
+		if got.Scores[v] != want.Scores[v] {
+			t.Fatalf("after shrink, v=%d: rebound %v fresh %v", v, got.Scores[v], want.Scores[v])
+		}
+	}
+}
+
+// Rebinding when n is stable must not reallocate any persistent scratch.
+func TestRebindStableNReusesScratch(t *testing.T) {
+	a, err := gen.ErdosRenyi(500, 4000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same node count, different edges.
+	b, err := gen.ErdosRenyi(500, 4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := mustEngine(t, a, Options{Epsilon: 0.02, Seed: 6})
+	if _, err := sp.Query(7); err != nil {
+		t.Fatal(err)
+	}
+	before := sp.MemoryBytes()
+	hBefore := &sp.hScratch[0]
+	sp.Rebind(b)
+	if &sp.hScratch[0] != hBefore {
+		t.Fatal("stable-n rebind reallocated hScratch")
+	}
+	if sp.MemoryBytes() != before {
+		t.Fatalf("stable-n rebind changed scratch footprint: %d -> %d", before, sp.MemoryBytes())
+	}
+	if _, err := sp.Query(7); err != nil {
+		t.Fatal(err)
+	}
+	// Rebind to the identical snapshot is a no-op.
+	sp.Rebind(b)
+	if sp.Graph() != b {
+		t.Fatal("self-rebind lost the graph")
+	}
+}
+
+// A rebound engine must see the new edges: a node that gains a sibling
+// gets a nonzero similarity that did not exist before the rebind.
+func TestRebindObservesNewEdges(t *testing.T) {
+	g1 := graph.MustFromPairs([2]int32{0, 1})
+	sp := mustEngine(t, g1, Options{Epsilon: 0.005, Seed: 1})
+	res, err := sp.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 2 {
+		t.Fatalf("initial n = %d", len(res.Scores))
+	}
+	// Add node 2 as a sibling of 1 under parent 0: s(1,2) = c = 0.6.
+	g2 := graph.MustFromPairs([2]int32{0, 1}, [2]int32{0, 2})
+	sp.Rebind(g2)
+	res, err = sp.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scores[2]; got < 0.59 || got > 0.61 {
+		t.Fatalf("s(1,2) after rebind = %v, want ~0.6", got)
+	}
+}

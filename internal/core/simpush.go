@@ -139,6 +139,42 @@ func New(g *graph.Graph, opt Options) (*SimPush, error) {
 	return sp, nil
 }
 
+// Rebind points the engine at a new graph snapshot in place, reusing the
+// existing walk and push scratch instead of reconstructing the engine.
+// When the node count is unchanged nothing is allocated at all; when the
+// graph grew, each scratch array is extended (appended entries carry the
+// clean-state sentinel, so the between-queries invariants hold); when it
+// shrank, the larger arrays are kept. The walker's random stream continues
+// uninterrupted, so a single-goroutine query sequence across rebinds is
+// deterministic in (snapshot sequence, options, seed).
+//
+// Rebind must not run concurrently with a query on the same engine; like
+// queries themselves, it requires exclusive ownership of the engine.
+func (sp *SimPush) Rebind(g *graph.Graph) {
+	if g == sp.g {
+		return
+	}
+	sp.g = g
+	sp.walker.Rebind(g)
+	sp.counter.Grow(g.N())
+	n := int(g.N())
+	if n > len(sp.hScratch) {
+		sp.hScratch = append(sp.hScratch, make([]float64, n-len(sp.hScratch))...)
+	}
+	for l, s := range sp.slots {
+		if len(s) >= n {
+			continue
+		}
+		grown := append(s, make([]int32, n-len(s))...)
+		for i := len(s); i < n; i++ {
+			grown[i] = -1
+		}
+		sp.slots[l] = grown
+	}
+	// rCur/rNxt need no handling here: reversePush sizes them lazily
+	// against the bound graph on every query.
+}
+
 // Options returns the engine's effective (defaulted) options.
 func (sp *SimPush) Options() Options {
 	return sp.opt

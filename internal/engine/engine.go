@@ -14,6 +14,13 @@ import (
 //
 // Engines are not required to be safe for concurrent queries; the harness
 // serializes queries per engine (matching the paper's per-query timing).
+//
+// Engines assume the graph they were constructed on never mutates: the
+// index-based baselines bake its topology into their index at Build time,
+// so serving a changed graph requires a new engine and a full rebuild —
+// exactly the maintenance cost the paper's index-free design avoids. Live
+// graphs are served through the root package's Client/GraphSource API,
+// whose SimPush engines rebind to fresh snapshots in place instead.
 type Engine interface {
 	// Name identifies the algorithm, e.g. "SimPush" or "ProbeSim".
 	Name() string

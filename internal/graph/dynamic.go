@@ -12,8 +12,11 @@ import (
 // Mutations are buffered; Snapshot materializes an immutable CSR Graph,
 // rebuilding lazily and amortized — repeated Snapshot calls without
 // intervening mutations return the same *Graph, so query engines can be
-// constructed directly on the result. All methods are safe for concurrent
-// use.
+// constructed directly on the result. Every materialized snapshot is
+// stamped with a monotonically increasing epoch (SnapshotEpoch); the
+// epoch only advances when a rebuild actually observes new mutations, so
+// it identifies distinct committed graph states. All methods are safe for
+// concurrent use.
 type Dynamic struct {
 	mu      sync.Mutex
 	n       int32
@@ -21,22 +24,31 @@ type Dynamic struct {
 	tos     []int32
 	deleted map[[2]int32]int // pending deletion counts per edge
 	snap    *Graph           // cached snapshot; nil when dirty
+	epoch   uint64           // epoch of the cached snapshot; bumped per rebuild
 }
 
-// NewDynamic returns an empty dynamic graph with capacity hints.
+// NewDynamic returns an empty dynamic graph. nHint reserves node ids
+// [0, nHint) up front (exactly like AddNode(nHint)), and mHint presizes
+// the edge buffer, so a caller that knows the eventual size pays no
+// regrowth during the initial load.
 func NewDynamic(nHint int32, mHint int) *Dynamic {
+	if nHint < 0 {
+		nHint = 0
+	}
+	if mHint < 0 {
+		mHint = 0
+	}
 	return &Dynamic{
 		froms:   make([]int32, 0, mHint),
 		tos:     make([]int32, 0, mHint),
 		deleted: map[[2]int32]int{},
-		n:       0,
+		n:       nHint,
 	}
 }
 
 // FromGraph seeds a dynamic graph with an existing immutable graph.
 func FromGraph(g *Graph) *Dynamic {
 	d := NewDynamic(g.N(), int(g.M()))
-	d.n = g.N()
 	g.Edges(func(f, t int32) {
 		d.froms = append(d.froms, f)
 		d.tos = append(d.tos, t)
@@ -63,8 +75,12 @@ func (d *Dynamic) AddEdge(from, to int32) error {
 	return nil
 }
 
-// RemoveEdge marks one occurrence of (from, to) for deletion. Removing an
-// absent edge is reported at the next Snapshot.
+// RemoveEdge marks one occurrence of (from, to) for deletion. Validation
+// is deferred: removing an edge that does not exist is reported as an
+// error by the next Snapshot, which then discards the unmatched deletion —
+// exactly one snapshot fails and the source recovers, so a long-lived
+// Client serving this graph is never permanently poisoned by a bad (or
+// raced) removal.
 func (d *Dynamic) RemoveEdge(from, to int32) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -94,14 +110,41 @@ func (d *Dynamic) PendingEdges() int {
 // deletions, compacts the edge buffer and caches the result until the
 // next mutation.
 func (d *Dynamic) Snapshot() (*Graph, error) {
+	g, _, err := d.SnapshotEpoch()
+	return g, err
+}
+
+// Epoch returns the epoch of the most recently materialized snapshot.
+// Epochs start at 0 (nothing materialized yet) and advance by one each
+// time a Snapshot observes mutations; a Snapshot that hits the cache
+// keeps its epoch. Pending, not-yet-snapshotted mutations do not advance
+// the epoch — it versions committed states only.
+func (d *Dynamic) Epoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}
+
+// GraphSnapshot materializes the current graph together with its epoch,
+// implementing the root package's GraphSource interface.
+func (d *Dynamic) GraphSnapshot() (*Graph, uint64, error) {
+	return d.SnapshotEpoch()
+}
+
+// SnapshotEpoch is Snapshot plus the snapshot's epoch stamp. The pair is
+// consistent: the returned graph is exactly the state committed at the
+// returned epoch, even under concurrent mutation.
+func (d *Dynamic) SnapshotEpoch() (*Graph, uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.snap != nil {
-		return d.snap, nil
+		return d.snap, d.epoch, nil
 	}
 	if len(d.deleted) > 0 {
 		// Validate before mutating: every pending deletion must match an
-		// existing buffered edge.
+		// existing buffered edge. An unmatched deletion fails this one
+		// rebuild, but its excess is dropped so the next Snapshot recovers
+		// — a bad removal must not poison the source forever.
 		avail := make(map[[2]int32]int, len(d.deleted))
 		for i := range d.froms {
 			key := [2]int32{d.froms[i], d.tos[i]}
@@ -109,10 +152,22 @@ func (d *Dynamic) Snapshot() (*Graph, error) {
 				avail[key]++
 			}
 		}
+		var badKey [2]int32
+		bad := false
 		for key, cnt := range d.deleted {
 			if avail[key] < cnt {
-				return nil, fmt.Errorf("graph: removing nonexistent edge (%d, %d)", key[0], key[1])
+				if !bad {
+					badKey, bad = key, true
+				}
+				if avail[key] == 0 {
+					delete(d.deleted, key)
+				} else {
+					d.deleted[key] = avail[key]
+				}
 			}
+		}
+		if bad {
+			return nil, 0, fmt.Errorf("graph: removing nonexistent edge (%d, %d)", badKey[0], badKey[1])
 		}
 		ff := d.froms[:0]
 		tt := d.tos[:0]
@@ -132,8 +187,9 @@ func (d *Dynamic) Snapshot() (*Graph, error) {
 	}
 	g, err := fromEdges(d.n, d.froms, d.tos)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	d.snap = g
-	return g, nil
+	d.epoch++
+	return g, d.epoch, nil
 }

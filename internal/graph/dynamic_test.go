@@ -86,6 +86,29 @@ func TestDynamicRemoveMissing(t *testing.T) {
 	if _, err := d.Snapshot(); err == nil {
 		t.Fatal("removal of missing edge not reported")
 	}
+	// Exactly one snapshot fails: the unmatched deletion is discarded and
+	// the source recovers instead of being poisoned forever.
+	g, err := d.Snapshot()
+	if err != nil {
+		t.Fatalf("source did not recover: %v", err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("recovered m = %d, want 1", g.M())
+	}
+	// Excess removals of an existing edge drop only the excess: the one
+	// matched deletion still applies on recovery.
+	d.RemoveEdge(0, 1)
+	d.RemoveEdge(0, 1)
+	if _, err := d.Snapshot(); err == nil {
+		t.Fatal("excess removal not reported")
+	}
+	g, err = d.Snapshot()
+	if err != nil {
+		t.Fatalf("source did not recover from excess removal: %v", err)
+	}
+	if g.M() != 0 {
+		t.Fatalf("recovered m = %d, want 0 (matched deletion applied)", g.M())
+	}
 }
 
 func TestDynamicFromGraph(t *testing.T) {
@@ -156,6 +179,118 @@ func TestDynamicConcurrent(t *testing.T) {
 	}
 	if g.M() != 800 {
 		t.Fatalf("m = %d, want 800", g.M())
+	}
+}
+
+// NewDynamic must honor both capacity hints: nHint reserves node ids like
+// AddNode, and mHint presizes the edge buffer.
+func TestNewDynamicHints(t *testing.T) {
+	d := NewDynamic(10, 64)
+	if got := cap(d.froms); got < 64 {
+		t.Fatalf("edge buffer cap = %d, want >= 64", got)
+	}
+	g, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 || g.M() != 0 {
+		t.Fatalf("snapshot %v, want n=10 m=0", g)
+	}
+	// Hints are floors, not caps: the graph still grows past them.
+	if err := d.AddEdge(20, 21); err != nil {
+		t.Fatal(err)
+	}
+	g, err = d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 22 {
+		t.Fatalf("n = %d after growth past nHint", g.N())
+	}
+	// Negative hints are clamped, not panics.
+	if g, err := NewDynamic(-3, -5).Snapshot(); err != nil || g.N() != 0 {
+		t.Fatalf("negative hints: %v, %v", g, err)
+	}
+}
+
+// Epochs must be monotonic, advance exactly once per materialized rebuild,
+// and stay put across cached snapshots.
+func TestDynamicEpoch(t *testing.T) {
+	d := NewDynamic(0, 0)
+	if d.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d", d.Epoch())
+	}
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g1, e1, err := d.SnapshotEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != 1 {
+		t.Fatalf("first epoch = %d, want 1", e1)
+	}
+	// Cached snapshot: same graph, same epoch.
+	g2, e2, err := d.SnapshotEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g1 || e2 != e1 {
+		t.Fatalf("cached snapshot changed: epoch %d vs %d", e2, e1)
+	}
+	if d.Epoch() != e1 {
+		t.Fatalf("Epoch() = %d, want %d", d.Epoch(), e1)
+	}
+	// A mutation alone does not advance the committed epoch...
+	if err := d.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != e1 {
+		t.Fatalf("pending mutation advanced epoch to %d", d.Epoch())
+	}
+	// ...the next snapshot does, by exactly one.
+	g3, e3, err := d.SnapshotEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3 == g1 || e3 != e1+1 {
+		t.Fatalf("rebuild epoch = %d, want %d", e3, e1+1)
+	}
+	// GraphSnapshot is the same observation.
+	g4, e4, err := d.GraphSnapshot()
+	if err != nil || g4 != g3 || e4 != e3 {
+		t.Fatalf("GraphSnapshot = (%v, %d, %v)", g4, e4, err)
+	}
+}
+
+// A failed snapshot must not consume an epoch: the recovery rebuild that
+// follows is still one past the last committed state.
+func TestDynamicEpochSkipsFailedRebuild(t *testing.T) {
+	d := NewDynamic(0, 0)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, e, err := d.SnapshotEpoch(); err != nil || e != 1 {
+		t.Fatalf("seed snapshot: epoch %d, %v", e, err)
+	}
+	d.RemoveEdge(7, 8) // nonexistent: next rebuild fails once
+	if _, _, err := d.SnapshotEpoch(); err == nil {
+		t.Fatal("bad deletion not reported")
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("failed rebuild advanced epoch to %d", d.Epoch())
+	}
+	if _, e, err := d.SnapshotEpoch(); err != nil || e != 2 {
+		t.Fatalf("recovery snapshot: epoch %d, %v", e, err)
+	}
+}
+
+// The immutable Graph is a GraphSource frozen at epoch 0.
+func TestStaticGraphSnapshot(t *testing.T) {
+	g := MustFromPairs([2]int32{0, 1})
+	s, e, err := g.GraphSnapshot()
+	if err != nil || s != g || e != 0 {
+		t.Fatalf("GraphSnapshot = (%v, %d, %v)", s, e, err)
 	}
 }
 

@@ -60,6 +60,13 @@ func (g *Graph) In(v int32) []int32 {
 	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
 }
 
+// GraphSnapshot returns the graph itself at epoch 0, implementing the
+// root package's GraphSource interface: an immutable Graph is a source
+// that never changes, so every snapshot is the same committed state.
+func (g *Graph) GraphSnapshot() (*Graph, uint64, error) {
+	return g, 0, nil
+}
+
 // HasNode reports whether v is a valid node identifier.
 func (g *Graph) HasNode(v int32) bool {
 	return v >= 0 && v < g.n

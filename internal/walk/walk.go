@@ -40,6 +40,13 @@ func (w *Walker) Split() *Walker {
 	return &Walker{g: w.g, sqrtC: w.sqrtC, rng: w.rng.Split(), buf: make([]int32, 0, 64)}
 }
 
+// Rebind points the walker at a new graph snapshot. The random stream
+// continues where it left off — rebinding changes what the walks traverse,
+// not how they are sampled.
+func (w *Walker) Rebind(g *graph.Graph) {
+	w.g = g
+}
+
 // Reseed resets the walker's random stream, making everything sampled
 // afterwards deterministic in seed alone.
 func (w *Walker) Reseed(seed uint64) {
@@ -134,6 +141,22 @@ type LevelCounter struct {
 // NewLevelCounter returns a counter for a graph with n nodes.
 func NewLevelCounter(n int32) *LevelCounter {
 	return &LevelCounter{n: n}
+}
+
+// Grow resizes the counter for a graph that now has n nodes, extending
+// already-allocated per-level arrays in place (appended entries are zero,
+// preserving the reset invariant). Shrinking keeps the larger arrays —
+// node ids below the new n stay valid and nothing reallocates.
+func (lc *LevelCounter) Grow(n int32) {
+	if n > lc.n {
+		for l, c := range lc.counts {
+			if c == nil || int32(len(c)) >= n {
+				continue
+			}
+			lc.counts[l] = append(c, make([]int32, n-int32(len(c)))...)
+		}
+	}
+	lc.n = n
 }
 
 // Add records a visit of v at step ℓ (ℓ >= 1).

@@ -217,3 +217,65 @@ func TestLevelCounterForEach(t *testing.T) {
 	lc.Reset()
 	lc.ForEach(1, func(v, c int32) { t.Fatal("survived reset") })
 }
+
+// Rebind must swap the traversed graph while the random stream continues;
+// walks after a rebind stay within the new graph's node range.
+func TestWalkerRebind(t *testing.T) {
+	small := gen.Cycle(4)
+	big := gen.Cycle(64)
+	w := NewWalker(small, testC, rnd.New(1))
+	for i := 0; i < 50; i++ {
+		w.Sample(2)
+	}
+	w.Rebind(big)
+	for i := 0; i < 500; i++ {
+		for _, v := range w.Sample(40) {
+			if v < 0 || v >= big.N() {
+				t.Fatalf("post-rebind walk left the graph: node %d", v)
+			}
+		}
+	}
+	// Rebinding to a smaller graph works the same way.
+	w.Rebind(small)
+	for i := 0; i < 500; i++ {
+		for _, v := range w.Sample(2) {
+			if v < 0 || v >= small.N() {
+				t.Fatalf("post-shrink walk left the graph: node %d", v)
+			}
+		}
+	}
+}
+
+// Grow must extend allocated levels in place with zeroed entries and keep
+// counts accumulated so far.
+func TestLevelCounterGrow(t *testing.T) {
+	lc := NewLevelCounter(3)
+	lc.Add(1, 2)
+	lc.Add(1, 2)
+	lc.Grow(10)
+	if got := lc.Count(1, 2); got != 2 {
+		t.Fatalf("count lost across Grow: %d", got)
+	}
+	// New ids are addressable at already-allocated levels without panics.
+	lc.Add(1, 9)
+	if got := lc.Count(1, 9); got != 1 {
+		t.Fatalf("count at grown id = %d", got)
+	}
+	// Levels allocated after Grow use the new size.
+	lc.Add(2, 7)
+	if got := lc.Count(2, 7); got != 1 {
+		t.Fatalf("count at new level = %d", got)
+	}
+	lc.Reset()
+	for _, probe := range [][2]int32{{1, 2}, {1, 9}, {2, 7}} {
+		if got := lc.Count(int(probe[0]), probe[1]); got != 0 {
+			t.Fatalf("count (%d,%d) survived Reset: %d", probe[0], probe[1], got)
+		}
+	}
+	// Shrink keeps the larger arrays; ids below the new n remain valid.
+	lc.Grow(5)
+	lc.Add(1, 4)
+	if got := lc.Count(1, 4); got != 1 {
+		t.Fatalf("count after shrink = %d", got)
+	}
+}

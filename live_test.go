@@ -1,0 +1,425 @@
+package simpush
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// A single Client over a DynamicGraph must observe post-construction edge
+// insertions and deletions in subsequent queries, with no caller-side
+// snapshot and no Client rebuild — the acceptance behavior of the live
+// serving API.
+func TestClientObservesLiveMutations(t *testing.T) {
+	ctx := context.Background()
+	d := NewDynamicGraph(0, 8)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(d, Options{Epsilon: 0.005, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.SingleSource(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 2 {
+		t.Fatalf("initial n = %d, want 2", len(res.Scores))
+	}
+
+	// Insert a sibling: 1 and 2 now share parent 0, so s(1,2) = c = 0.6.
+	if err := d.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Pair(ctx, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.6) > 0.01 {
+		t.Fatalf("s(1,2) after live insert = %v, want ~0.6", s)
+	}
+
+	// Delete the edge again: the sibling relation disappears on the very
+	// next query. Node 2 still exists (ids are never reclaimed), so the
+	// score is 0 rather than out-of-range.
+	d.RemoveEdge(0, 2)
+	s, err = c.Pair(ctx, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Fatalf("s(1,2) after live delete = %v, want 0", s)
+	}
+
+	// Growth is visible to every query flavor without a new client.
+	if err := d.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := c.BatchSingleSource(ctx, []int32{0, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch[0].Scores) != 4 || len(batch[1].Scores) != 4 {
+		t.Fatalf("batch did not observe growth: n = %d", len(batch[0].Scores))
+	}
+	if _, err := c.TopKAdaptive(ctx, 3, 2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A bad RemoveEdge fails exactly one query and is then discarded: the
+// long-lived client recovers instead of being poisoned forever.
+func TestClientRecoversFromBadRemoval(t *testing.T) {
+	ctx := context.Background()
+	d := NewDynamicGraph(0, 4)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(d, Options{Epsilon: 0.01, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RemoveEdge(5, 6) // no such edge
+	if _, err := c.SingleSource(ctx, 0); err == nil {
+		t.Fatal("bad removal not reported")
+	}
+	res, err := c.SingleSource(ctx, 0)
+	if err != nil {
+		t.Fatalf("client did not recover: %v", err)
+	}
+	if len(res.Scores) != 2 {
+		t.Fatalf("recovered n = %d, want 2", len(res.Scores))
+	}
+	// The recovery snapshot is a real commit: Graph() serves it too.
+	if c.Graph().M() != 1 {
+		t.Fatalf("recovered m = %d, want 1", c.Graph().M())
+	}
+}
+
+// A View must pin one epoch: queries through it keep answering on the
+// snapshot taken at View time while the client chases newer commits, and
+// Epoch reports the pinned stamp.
+func TestViewPinsEpoch(t *testing.T) {
+	ctx := context.Background()
+	d := NewDynamicGraph(0, 8)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(d, Options{Epsilon: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := c.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Epoch() != d.Epoch() {
+		t.Fatalf("view epoch %d != source epoch %d", view.Epoch(), d.Epoch())
+	}
+	pinned := view.Epoch()
+
+	// Mutate past the view: the client sees n=5, the view still n=2.
+	for _, e := range [][2]int32{{0, 2}, {2, 3}, {3, 4}} {
+		if err := d.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh, err := c.SingleSource(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Scores) != 5 {
+		t.Fatalf("client stuck at old snapshot: n = %d", len(fresh.Scores))
+	}
+	old, err := view.SingleSource(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.Scores) != 2 {
+		t.Fatalf("view leaked a newer epoch: n = %d", len(old.Scores))
+	}
+	if view.Epoch() != pinned {
+		t.Fatalf("view epoch drifted: %d -> %d", pinned, view.Epoch())
+	}
+	// Pair/TopK/Batch through the view stay on the pinned snapshot too:
+	// node 4 exists for the client but is out of range for the view.
+	if _, err := view.Pair(ctx, 1, 4); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("view Pair(1,4) err = %v, want ErrNodeOutOfRange", err)
+	}
+	if _, err := view.BatchSingleSource(ctx, []int32{4}, 1); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("view Batch err = %v, want ErrNodeOutOfRange", err)
+	}
+	if _, err := c.Pair(ctx, 1, 4); err != nil {
+		t.Fatalf("client Pair(1,4): %v", err)
+	}
+
+	// A new view advances to the newer committed epoch.
+	view2, err := c.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view2.Epoch() <= pinned {
+		t.Fatalf("new view epoch %d not past pinned %d", view2.Epoch(), pinned)
+	}
+	if view2.Graph().N() != 5 {
+		t.Fatalf("new view n = %d", view2.Graph().N())
+	}
+
+	// Client-level epoch observation matches the source.
+	if e, err := c.Epoch(); err != nil || e != d.Epoch() {
+		t.Fatalf("Client.Epoch = (%d, %v), source %d", e, err, d.Epoch())
+	}
+
+	// A pre-cancelled context stops View before it materializes anything.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := c.View(cctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled View err = %v", err)
+	}
+}
+
+// Static sources serve epoch 0 and behave exactly like the fixed-graph
+// client: View is free and pins the same graph.
+func TestViewOnStaticSource(t *testing.T) {
+	ctx := context.Background()
+	g, err := SyntheticWebGraph(500, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(g, Options{Epsilon: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph() != g {
+		t.Fatal("static client graph accessor")
+	}
+	if c.Source() != GraphSource(g) {
+		t.Fatal("static client source accessor")
+	}
+	view, err := c.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Epoch() != 0 || view.Graph() != g || view.Client() != c {
+		t.Fatalf("static view = {epoch %d, graph %v}", view.Epoch(), view.Graph())
+	}
+	res, err := view.SingleSource(ctx, 42)
+	if err != nil || res.Scores[42] != 1 {
+		t.Fatalf("static view query: %v", err)
+	}
+	if _, err := view.TopK(ctx, 42, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := view.TopKAdaptive(ctx, 42, 5, 0.08, 0.02); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// erroringSource fails GraphSnapshot after a configurable number of
+// successes, exercising the snapshot error path end to end.
+type erroringSource struct {
+	g    *Graph
+	left atomic.Int64
+}
+
+var errSourceDown = errors.New("source down")
+
+func (s *erroringSource) GraphSnapshot() (*Graph, uint64, error) {
+	if s.left.Add(-1) < 0 {
+		return nil, 0, errSourceDown
+	}
+	return s.g, 1, nil
+}
+
+// Snapshot failures must surface the source's real error from every query
+// method — not a misleading options error.
+func TestSnapshotErrorPropagation(t *testing.T) {
+	ctx := context.Background()
+	g, err := FromEdges([]int32{0, 0}, []int32{1, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &erroringSource{g: g}
+	src.left.Store(2) // NewClient takes one snapshot, first query one more
+	c, err := NewClient(src, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SingleSource(ctx, 0); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	for name, call := range map[string]func() error{
+		"SingleSource": func() error { _, err := c.SingleSource(ctx, 0); return err },
+		"Pair":         func() error { _, err := c.Pair(ctx, 0, 1); return err },
+		"Batch":        func() error { _, err := c.BatchSingleSource(ctx, []int32{0}, 1); return err },
+		"TopKAdaptive": func() error { _, err := c.TopKAdaptive(ctx, 0, 1, 0, 0); return err },
+		"View":         func() error { _, err := c.View(ctx); return err },
+		"Epoch":        func() error { _, err := c.Epoch(); return err },
+	} {
+		if err := call(); !errors.Is(err, errSourceDown) {
+			t.Fatalf("%s err = %v, want errSourceDown", name, err)
+		}
+		if err := call(); errors.Is(err, ErrInvalidOptions) {
+			t.Fatalf("%s masked the source error as ErrInvalidOptions", name)
+		}
+	}
+	// Graph() degrades to the last good snapshot instead of nil.
+	if c.Graph() != g {
+		t.Fatal("Graph() lost the last good snapshot")
+	}
+	// NewClient itself reports a source that is down from the start.
+	if _, err := NewClient(src, Options{}); !errors.Is(err, errSourceDown) {
+		t.Fatalf("NewClient err = %v", err)
+	}
+}
+
+// Concurrent mutation and querying on one Client must be race-free (run
+// under -race) and every answer must be internally consistent: a result's
+// score vector matches the node count of one committed snapshot, never a
+// torn state, and a pinned View never observes a snapshot newer (or other)
+// than the one it pinned.
+func TestConcurrentMutationAndQuery(t *testing.T) {
+	ctx := context.Background()
+	const baseN = 400
+	d := NewDynamicGraph(baseN, 4*baseN)
+	for i := int32(0); i < baseN; i++ {
+		if err := d.AddEdge(i, (i+1)%baseN); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddEdge(i, (i*7+3)%baseN); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := NewClient(d, Options{Epsilon: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := c.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinnedN, pinnedEpoch := view.Graph().N(), view.Epoch()
+
+	const (
+		mutators  = 3
+		queriers  = 3
+		rounds    = 40
+		perRound  = 5
+		batchSize = 4
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, mutators+queriers+1)
+
+	// Mutators: interleave inserts and deletes. Deletes only target edges
+	// this goroutine added earlier, so program order on the shared buffer
+	// guarantees they exist at every snapshot.
+	for m := 0; m < mutators; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				f := int32(baseN + m*rounds + r) // grow the id range too
+				tgt := int32((m*131 + r*17) % baseN)
+				if err := d.AddEdge(f, tgt); err != nil {
+					errs <- err
+					return
+				}
+				if err := d.AddEdge(tgt, f); err != nil {
+					errs <- err
+					return
+				}
+				if r%3 == 0 {
+					d.RemoveEdge(tgt, f)
+				}
+			}
+		}(m)
+	}
+
+	// Queriers: single-source and batches while the graph moves.
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for r := 0; r < rounds*perRound; r++ {
+				u := int32((q*257 + r*31) % baseN)
+				res, err := c.SingleSource(ctx, u)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Scores[u] != 1 {
+					errs <- fmt.Errorf("self score %v at u=%d", res.Scores[u], u)
+					return
+				}
+				if n := len(res.Scores); n < baseN {
+					errs <- fmt.Errorf("torn result: n = %d < base %d", n, baseN)
+					return
+				}
+				if r%perRound == 0 {
+					queries := make([]int32, batchSize)
+					for i := range queries {
+						queries[i] = int32((u + int32(i)*13) % baseN)
+					}
+					batch, err := c.BatchSingleSource(ctx, queries, 2)
+					if err != nil {
+						errs <- err
+						return
+					}
+					// The batch pins one snapshot: all results agree on n.
+					for _, res := range batch {
+						if len(res.Scores) != len(batch[0].Scores) {
+							errs <- fmt.Errorf("batch straddled snapshots: %d vs %d",
+								len(res.Scores), len(batch[0].Scores))
+							return
+						}
+					}
+				}
+			}
+		}(q)
+	}
+
+	// View querier: every answer must be exactly the pinned snapshot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds*perRound; r++ {
+			res, err := view.SingleSource(ctx, int32(r%baseN))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if int32(len(res.Scores)) != pinnedN {
+				errs <- fmt.Errorf("view observed n=%d, pinned %d", len(res.Scores), pinnedN)
+				return
+			}
+			if view.Epoch() != pinnedEpoch {
+				errs <- fmt.Errorf("view epoch drifted to %d", view.Epoch())
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Quiesced: the client lands on the final committed state.
+	g, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.SingleSource(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(len(res.Scores)) != g.N() {
+		t.Fatalf("final query n = %d, snapshot n = %d", len(res.Scores), g.N())
+	}
+}

@@ -19,6 +19,19 @@
 //	res, _ := c.SingleSource(ctx, 42)
 //	top, _ := c.TopK(ctx, 42, 10, simpush.WithEpsilon(0.005))
 //
+// A Client is bound to a GraphSource rather than one frozen graph. A
+// static *Graph is a source, and so is the mutable, versioned
+// *DynamicGraph — hand one to NewClient and every query automatically
+// observes the newest committed edges, with engines rebound in place (no
+// snapshot-and-rebuild orchestration). Client.View pins one epoch when a
+// multi-call workflow needs a consistent state:
+//
+//	d := simpush.NewDynamicGraph(0, 0)
+//	c, _ := simpush.NewClient(d, simpush.Options{})
+//	d.AddEdge(0, 1)
+//	res, _ := c.SingleSource(ctx, 0)  // sees the new edge
+//	v, _ := c.View(ctx)               // pinned epoch for consistent reads
+//
 // Deadlines interrupt queries mid-stage (ctx.Err() is returned), and
 // validation failures wrap the sentinel errors ErrNodeOutOfRange and
 // ErrInvalidOptions for errors.Is classification. The v1 Engine API is

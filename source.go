@@ -1,0 +1,57 @@
+package simpush
+
+import (
+	"github.com/simrank/simpush/internal/graph"
+)
+
+// A GraphSource supplies immutable graph snapshots to a Client. It is the
+// serving-side abstraction behind the paper's realtime claim: because
+// SimPush keeps no index, a Client bound to a source always answers on the
+// source's newest committed state with zero maintenance — engines rebind
+// to the current snapshot when a query checks them out.
+//
+// Two implementations ship with the package:
+//
+//   - *Graph: a static source. Every snapshot is the graph itself at
+//     epoch 0.
+//   - *DynamicGraph: a mutable, versioned source. Edges are added and
+//     removed concurrently with queries; each materialized snapshot is
+//     stamped with a monotonically increasing epoch identifying the
+//     committed state.
+//
+// GraphSnapshot returns the current committed graph and its epoch. The
+// pair must be consistent (the graph is exactly the state committed at
+// that epoch) and the returned *Graph must never be mutated afterwards —
+// sources publish fresh snapshots instead. Implementations must be safe
+// for concurrent use; Client calls GraphSnapshot on every query.
+type GraphSource interface {
+	GraphSnapshot() (*Graph, uint64, error)
+}
+
+// Static-source and dynamic-source implementations live on the graph
+// types themselves; assert they satisfy the interface.
+var (
+	_ GraphSource = (*Graph)(nil)
+	_ GraphSource = (*DynamicGraph)(nil)
+)
+
+// DynamicGraph is a mutable graph for evolving workloads — the realtime
+// scenario of the paper's introduction. Edges are added and removed over
+// time; every materialized snapshot carries a monotonically increasing
+// epoch. A DynamicGraph is a GraphSource: hand it to NewClient and every
+// query observes the newest committed state automatically, with no
+// caller-side snapshotting or client rebuild (use Client.View to pin one
+// epoch across several calls instead). All methods are safe for
+// concurrent use.
+type DynamicGraph = graph.Dynamic
+
+// NewDynamicGraph returns an empty dynamic graph. nHint reserves node ids
+// [0, nHint) up front and mHint presizes the edge buffer.
+func NewDynamicGraph(nHint int32, mHint int) *DynamicGraph {
+	return graph.NewDynamic(nHint, mHint)
+}
+
+// DynamicFromGraph seeds a dynamic graph from an immutable one.
+func DynamicFromGraph(g *Graph) *DynamicGraph {
+	return graph.FromGraph(g)
+}

@@ -24,10 +24,21 @@ type AdaptiveTopK struct {
 //
 // All rounds run on a single pooled engine via per-query ε overrides, so
 // the search reuses one set of scratch instead of building an engine per
-// round. startEps and floorEps bound the search (defaults 0.08 and 0.002
-// when zero); other QueryOption values apply to every round, except that
-// WithEpsilon is overridden by the round's ε.
+// round — and the whole search is pinned to one snapshot, so the 2ε
+// stability certificate always speaks about a single committed graph
+// state even while the source keeps mutating. startEps and floorEps bound
+// the search (defaults 0.08 and 0.002 when zero); other QueryOption values
+// apply to every round, except that WithEpsilon is overridden by the
+// round's ε.
 func (c *Client) TopKAdaptive(ctx context.Context, u int32, k int, startEps, floorEps float64, opts ...QueryOption) (*AdaptiveTopK, error) {
+	g, _, err := c.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return c.topKAdaptiveOn(ctx, g, u, k, startEps, floorEps, opts)
+}
+
+func (c *Client) topKAdaptiveOn(ctx context.Context, g *Graph, u int32, k int, startEps, floorEps float64, opts []QueryOption) (*AdaptiveTopK, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("simpush: %w: k must be >= 1, got %d", ErrInvalidOptions, k)
 	}
@@ -40,7 +51,7 @@ func (c *Client) TopKAdaptive(ctx context.Context, u int32, k int, startEps, flo
 	if startEps < floorEps {
 		startEps = floorEps
 	}
-	eng, err := c.acquire()
+	eng, err := c.acquireAt(g)
 	if err != nil {
 		return nil, err
 	}

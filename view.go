@@ -1,0 +1,79 @@
+package simpush
+
+import (
+	"context"
+)
+
+// A View is a pinned-epoch handle on a Client's graph source: every query
+// made through it runs on the one snapshot observed when the view was
+// taken, regardless of how the source mutates afterwards. Use it when a
+// multi-call workflow needs internal consistency — a SingleSource followed
+// by Pair lookups, a batch compared against individual queries, or
+// TopKAdaptive rounds whose certificates must all speak about the same
+// graph. Plain Client queries, by contrast, always chase the newest
+// committed state.
+//
+// A View is a cheap immutable value (it pins a snapshot, not an engine);
+// it is safe for concurrent use and never becomes invalid — it just grows
+// stale. Take a fresh view to advance.
+type View struct {
+	c     *Client
+	g     *Graph
+	epoch uint64
+}
+
+// View pins the source's current committed snapshot and returns a handle
+// whose queries all observe exactly that state. For a *DynamicGraph
+// source, taking a view may materialize the snapshot (a CSR rebuild), so
+// the context is honored; for a static source it is free.
+func (c *Client) View(ctx context.Context) (*View, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g, epoch, err := c.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &View{c: c, g: g, epoch: epoch}, nil
+}
+
+// Epoch returns the epoch of the pinned snapshot (0 for a static source).
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// Graph returns the pinned snapshot itself.
+func (v *View) Graph() *Graph { return v.g }
+
+// Client returns the client the view was taken from.
+func (v *View) Client() *Client { return v.c }
+
+// SingleSource estimates s(u, v) for every v on the pinned snapshot.
+func (v *View) SingleSource(ctx context.Context, u int32, opts ...QueryOption) (*Result, error) {
+	return v.c.singleSourceOn(ctx, v.g, u, opts)
+}
+
+// TopK runs a single-source query on the pinned snapshot and returns the
+// k most similar nodes (excluding u itself) in descending score order.
+func (v *View) TopK(ctx context.Context, u int32, k int, opts ...QueryOption) ([]Ranked, error) {
+	res, err := v.SingleSource(ctx, u, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return TopK(res.Scores, k, u), nil
+}
+
+// Pair estimates the single SimRank value s(u, v) on the pinned snapshot.
+func (v *View) Pair(ctx context.Context, u, w int32, opts ...QueryOption) (float64, error) {
+	return v.c.pairOn(ctx, v.g, u, w, opts)
+}
+
+// BatchSingleSource answers many single-source queries concurrently, all
+// on the pinned snapshot. parallelism <= 0 selects GOMAXPROCS workers.
+func (v *View) BatchSingleSource(ctx context.Context, queries []int32, parallelism int, opts ...QueryOption) ([]*Result, error) {
+	return v.c.batchSingleSourceOn(ctx, v.g, queries, parallelism, opts)
+}
+
+// TopKAdaptive runs the adaptive top-k search on the pinned snapshot; see
+// Client.TopKAdaptive for the search semantics.
+func (v *View) TopKAdaptive(ctx context.Context, u int32, k int, startEps, floorEps float64, opts ...QueryOption) (*AdaptiveTopK, error) {
+	return v.c.topKAdaptiveOn(ctx, v.g, u, k, startEps, floorEps, opts)
+}
