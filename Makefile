@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench serve smoke
 
 all: check
 
@@ -27,3 +27,11 @@ check: fmt vet race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Serve a synthetic dataset stand-in on :8080 (override with ARGS).
+serve:
+	$(GO) run ./cmd/simrankd -dataset dblp-sim -scale 0.25 -addr :8080 $(ARGS)
+
+# End-to-end smoke test of the daemon (build, start, curl, shutdown).
+smoke:
+	./scripts/simrankd_smoke.sh

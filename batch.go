@@ -2,19 +2,96 @@ package simpush
 
 import (
 	"context"
+	"sync"
 )
 
+// The deprecated top-level BatchSingleSource used to construct — and
+// abandon — a full engine pool on every call. Batch callers loop, so the
+// package keeps a small bound of Clients keyed by (graph, options):
+// back-to-back batches on the same graph reuse one pool and its scratch.
+type batchKey struct {
+	g   *Graph
+	opt Options
+}
+
+const maxCachedBatchClients = 4
+
+var (
+	batchMu      sync.Mutex
+	batchClients = map[batchKey]*Client{}
+	batchOrder   []batchKey // LRU order, oldest first
+)
+
+// cachedBatchClient returns the package-cached Client for (g, opt),
+// constructing and memoizing it on first use. Construction happens
+// outside batchMu — it allocates an engine's O(n) scratch, and holding
+// the global lock across it would serialize unrelated callers (even pure
+// cache hits on other graphs); a lost construction race just discards
+// the extra client. Eviction drops the reference without Close: an
+// evicted client may still be serving an earlier caller's batch, and
+// dropping it lets that batch finish while the garbage collector
+// reclaims the pool afterwards.
+func cachedBatchClient(g *Graph, opt Options) (*Client, error) {
+	key := batchKey{g: g, opt: opt}
+	if c := lookupBatchClient(key); c != nil {
+		return c, nil
+	}
+	c, err := NewClient(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	batchMu.Lock()
+	defer batchMu.Unlock()
+	if winner, ok := batchClients[key]; ok {
+		return winner, nil // raced: keep the first, drop ours
+	}
+	if len(batchOrder) >= maxCachedBatchClients {
+		oldest := batchOrder[0]
+		batchOrder = batchOrder[1:]
+		delete(batchClients, oldest)
+	}
+	batchClients[key] = c
+	batchOrder = append(batchOrder, key)
+	return c, nil
+}
+
+// lookupBatchClient returns the cached client for key, refreshing its
+// LRU position, or nil.
+func lookupBatchClient(key batchKey) *Client {
+	batchMu.Lock()
+	defer batchMu.Unlock()
+	c, ok := batchClients[key]
+	if !ok {
+		return nil
+	}
+	for i, k := range batchOrder {
+		if k == key {
+			batchOrder = append(batchOrder[:i], batchOrder[i+1:]...)
+			break
+		}
+	}
+	batchOrder = append(batchOrder, key)
+	return c
+}
+
 // BatchSingleSource answers many single-source queries concurrently — the
-// batch-processing mode the paper lists as future work. It is a thin
-// wrapper that builds a temporary Client and runs the batch over its
-// engine pool; results[i] corresponds to queries[i].
+// batch-processing mode the paper lists as future work. It runs over a
+// package-cached Client per (graph, options), so repeated calls reuse one
+// engine pool instead of rebuilding O(n) scratch every time; results[i]
+// corresponds to queries[i].
+//
+// Because the Client is memoized at package level, the graph and its
+// engine pool stay reachable after the call returns (up to
+// maxCachedBatchClients combinations, oldest evicted first). One-shot
+// callers on very large graphs that need the memory back promptly should
+// use an explicit Client and Close it instead.
 //
 // parallelism <= 0 selects GOMAXPROCS workers.
 //
-// Deprecated: use Client.BatchSingleSource, which reuses the pool across
-// batches and honors a context.
+// Deprecated: use Client.BatchSingleSource, which makes the pooling
+// explicit and honors a context.
 func BatchSingleSource(g *Graph, queries []int32, opt Options, parallelism int) ([]*Result, error) {
-	c, err := NewClient(g, opt)
+	c, err := cachedBatchClient(g, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -151,3 +151,64 @@ func TestBatchInvalidOptions(t *testing.T) {
 		t.Fatal("invalid epsilon accepted")
 	}
 }
+
+// TestBatchReusesCachedClient verifies the deprecated wrapper no longer
+// constructs (and abandons) an engine pool per call: repeated batches on
+// the same (graph, options) share one package-cached Client.
+func TestBatchReusesCachedClient(t *testing.T) {
+	g, err := SyntheticWebGraph(800, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Epsilon: 0.1, Seed: 21}
+	if _, err := BatchSingleSource(g, []int32{1, 2}, opt, 2); err != nil {
+		t.Fatal(err)
+	}
+	batchMu.Lock()
+	first := batchClients[batchKey{g: g, opt: opt}]
+	batchMu.Unlock()
+	if first == nil {
+		t.Fatal("no client cached after first batch")
+	}
+	if _, err := BatchSingleSource(g, []int32{3}, opt, 1); err != nil {
+		t.Fatal(err)
+	}
+	batchMu.Lock()
+	second := batchClients[batchKey{g: g, opt: opt}]
+	batchMu.Unlock()
+	if second != first {
+		t.Fatal("second batch did not reuse the cached client")
+	}
+	// Different options are a different pool.
+	if _, err := BatchSingleSource(g, []int32{1}, Options{Epsilon: 0.2, Seed: 21}, 1); err != nil {
+		t.Fatal(err)
+	}
+	batchMu.Lock()
+	entries := len(batchClients)
+	batchMu.Unlock()
+	if entries < 2 {
+		t.Fatalf("distinct options share a client: %d entries", entries)
+	}
+}
+
+// TestBatchClientCacheBounded fills the cache beyond its bound and checks
+// eviction keeps it at the cap.
+func TestBatchClientCacheBounded(t *testing.T) {
+	g, err := SyntheticWebGraph(500, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*maxCachedBatchClients; i++ {
+		opt := Options{Epsilon: 0.1 + float64(i)*0.01, Seed: 5}
+		if _, err := BatchSingleSource(g, []int32{1}, opt, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batchMu.Lock()
+	entries := len(batchClients)
+	order := len(batchOrder)
+	batchMu.Unlock()
+	if entries > maxCachedBatchClients || order != entries {
+		t.Fatalf("cache holds %d clients (order %d), bound %d", entries, order, maxCachedBatchClients)
+	}
+}

@@ -21,6 +21,11 @@ var (
 	// ErrInvalidOptions reports out-of-domain engine options or per-query
 	// overrides (ε, δ or c outside (0,1), k < 0, bad parallelism, …).
 	ErrInvalidOptions = core.ErrInvalidOptions
+	// ErrClientClosed reports a query issued after Client.Close. Closed
+	// clients fail fast instead of touching the engine pool, so a serving
+	// layer can drain gracefully: stop admitting, let in-flight queries
+	// finish, then Close.
+	ErrClientClosed = errors.New("simpush: client closed")
 )
 
 // A QueryOption overrides one engine parameter for a single query. The
@@ -110,6 +115,24 @@ type Client struct {
 
 	pool sync.Pool // overflow engines beyond the primary: *core.SimPush
 	seq  atomic.Uint64
+
+	// Lifecycle: closeMu orders the closed flag against in-flight
+	// registration so Close never misses a racing query; inflight counts
+	// running top-level query calls and lets Close drain them.
+	closeMu  sync.RWMutex
+	closed   bool
+	inflight sync.WaitGroup
+
+	stats clientCounters
+}
+
+// clientCounters is the always-on instrumentation behind Client.Stats.
+// Counters are atomics: queries touch them on the hot path and /statsz
+// readers must not contend with them.
+type clientCounters struct {
+	queries  atomic.Uint64 // engine query executions
+	errors   atomic.Uint64 // top-level query calls that returned an error
+	inFlight atomic.Int64  // top-level query calls currently running
 }
 
 // NewClient validates opt and returns a Client bound to src. Both *Graph
@@ -253,12 +276,17 @@ func (c *Client) SingleSource(ctx context.Context, u int32, opts ...QueryOption)
 	return c.singleSourceOn(ctx, g, u, opts)
 }
 
-func (c *Client) singleSourceOn(ctx context.Context, g *Graph, u int32, opts []QueryOption) (*Result, error) {
+func (c *Client) singleSourceOn(ctx context.Context, g *Graph, u int32, opts []QueryOption) (res *Result, err error) {
+	if err := c.begin(); err != nil {
+		return nil, err
+	}
+	defer func() { c.end(err) }()
 	eng, err := c.acquireAt(g)
 	if err != nil {
 		return nil, err
 	}
 	defer c.release(eng)
+	c.stats.queries.Add(1)
 	return eng.QueryCtx(ctx, u, buildQueryOpts(opts))
 }
 
@@ -315,7 +343,11 @@ func (c *Client) BatchSingleSource(ctx context.Context, queries []int32, paralle
 	return c.batchSingleSourceOn(ctx, g, queries, parallelism, opts)
 }
 
-func (c *Client) batchSingleSourceOn(ctx context.Context, g *Graph, queries []int32, parallelism int, opts []QueryOption) ([]*Result, error) {
+func (c *Client) batchSingleSourceOn(ctx context.Context, g *Graph, queries []int32, parallelism int, opts []QueryOption) (_ []*Result, err error) {
+	if err := c.begin(); err != nil {
+		return nil, err
+	}
+	defer func() { c.end(err) }()
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -354,6 +386,7 @@ func (c *Client) batchSingleSourceOn(ctx context.Context, g *Graph, queries []in
 				if int(i) >= len(queries) {
 					return
 				}
+				c.stats.queries.Add(1)
 				res, err := eng.QueryCtx(bctx, queries[i], qo)
 				if err != nil {
 					errs[w] = err

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/simrank/simpush/internal/server"
+)
+
+// loadOptions parameterizes the HTTP load-generator mode (-http): it
+// drives a running simrankd and reports the serving-path baseline the
+// library benchmarks can't see — throughput, latency percentiles, and
+// cache hit rate under repeated-query traffic.
+type loadOptions struct {
+	base        string        // daemon base URL
+	duration    time.Duration // measurement window
+	concurrency int           // concurrent request loops
+	endpoint    string        // single-source | topk | pair | mix
+	k           int           // k for topk requests
+	hot         int           // size of the hot node set
+	hotFrac     float64       // fraction of queries drawn from the hot set
+	eps         float64       // per-query eps override (0 = server default)
+	timeout     time.Duration // per-request client timeout
+	seed        uint64
+}
+
+type loadSample struct {
+	latency time.Duration
+	status  int
+	err     error
+}
+
+// fetchStats decodes /statsz.
+func fetchStats(client *http.Client, base string) (server.StatsSnapshot, error) {
+	var snap server.StatsSnapshot
+	resp, err := client.Get(base + "/statsz")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("statsz: status %d", resp.StatusCode)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// queryURL builds one request against the daemon. Hot queries are seeded
+// with a constant derived from the node, so repeats are cache-identical;
+// cold queries draw a fresh seed so they exercise the engine.
+func queryURL(opt loadOptions, rng *rand.Rand, n int32) string {
+	endpoint := opt.endpoint
+	if endpoint == "mix" {
+		switch rng.Intn(3) {
+		case 0:
+			endpoint = "single-source"
+		case 1:
+			endpoint = "topk"
+		default:
+			endpoint = "pair"
+		}
+	}
+	hot := rng.Float64() < opt.hotFrac
+	var node int32
+	if hot {
+		node = int32(rng.Intn(opt.hot))
+	} else {
+		node = rng.Int31n(n)
+	}
+	v := url.Values{}
+	if hot {
+		v.Set("seed", fmt.Sprint(uint64(node)*2654435761+1))
+	} else {
+		v.Set("seed", fmt.Sprint(rng.Uint64()))
+	}
+	if opt.eps > 0 {
+		v.Set("eps", fmt.Sprint(opt.eps))
+	}
+	switch endpoint {
+	case "topk":
+		v.Set("node", fmt.Sprint(node))
+		v.Set("k", fmt.Sprint(opt.k))
+	case "pair":
+		v.Set("u", fmt.Sprint(node))
+		v.Set("v", fmt.Sprint((node+1)%n))
+	default:
+		v.Set("node", fmt.Sprint(node))
+	}
+	return opt.base + "/v1/" + endpoint + "?" + v.Encode()
+}
+
+// runHTTPLoad drives the daemon for the configured window and writes a
+// TSV report.
+func runHTTPLoad(w io.Writer, opt loadOptions) error {
+	switch opt.endpoint {
+	case "single-source", "topk", "pair", "mix":
+	default:
+		return fmt.Errorf("unknown endpoint %q (want single-source|topk|pair|mix)", opt.endpoint)
+	}
+	if opt.concurrency < 1 {
+		opt.concurrency = 1
+	}
+	client := &http.Client{Timeout: opt.timeout}
+
+	before, err := fetchStats(client, opt.base)
+	if err != nil {
+		return fmt.Errorf("reaching daemon: %w", err)
+	}
+	n := before.GraphN
+	if n < 1 {
+		return fmt.Errorf("daemon reports an empty graph (n=%d)", n)
+	}
+	if opt.hot <= 0 || opt.hot > int(n) {
+		opt.hot = int(n)
+	}
+
+	deadline := time.Now().Add(opt.duration)
+	samples := make([][]loadSample, opt.concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wkr := 0; wkr < opt.concurrency; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(opt.seed) + int64(wkr)*7919))
+			local := make([]loadSample, 0, 1024)
+			for time.Now().Before(deadline) {
+				target := queryURL(opt, rng, n)
+				t0 := time.Now()
+				resp, err := client.Get(target)
+				lat := time.Since(t0)
+				s := loadSample{latency: lat, err: err}
+				if err == nil {
+					s.status = resp.StatusCode
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				local = append(local, s)
+			}
+			samples[wkr] = local
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := fetchStats(client, opt.base)
+	if err != nil {
+		return fmt.Errorf("reading final stats: %w", err)
+	}
+	return writeLoadReport(w, opt, elapsed, samples, before, after)
+}
+
+func writeLoadReport(w io.Writer, opt loadOptions, elapsed time.Duration, samples [][]loadSample, before, after server.StatsSnapshot) error {
+	var (
+		lats     []float64
+		ok       int
+		rejected int
+		failed   int
+		other    int
+	)
+	for _, local := range samples {
+		for _, s := range local {
+			switch {
+			case s.err != nil:
+				failed++
+			case s.status == http.StatusOK:
+				ok++
+				lats = append(lats, s.latency.Seconds()*1000)
+			case s.status == http.StatusTooManyRequests:
+				rejected++
+			default:
+				other++
+			}
+		}
+	}
+	total := ok + rejected + failed + other
+	sort.Float64s(lats)
+	pct := func(q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(lats)-1))
+		return lats[idx]
+	}
+
+	hits := after.Cache.Hits - before.Cache.Hits
+	misses := after.Cache.Misses - before.Cache.Misses
+	coalesced := after.Cache.Coalesced - before.Cache.Coalesced
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	engineQueries := after.Client.Queries - before.Client.Queries
+
+	fmt.Fprintf(w, "# simbench HTTP load: %s for %s, %d workers, endpoint=%s, hot=%d@%.2f\n",
+		opt.base, elapsed.Round(time.Millisecond), opt.concurrency, opt.endpoint, opt.hot, opt.hotFrac)
+	fmt.Fprintf(w, "metric\tvalue\n")
+	fmt.Fprintf(w, "requests\t%d\n", total)
+	fmt.Fprintf(w, "ok\t%d\n", ok)
+	fmt.Fprintf(w, "rejected_429\t%d\n", rejected)
+	fmt.Fprintf(w, "transport_errors\t%d\n", failed)
+	fmt.Fprintf(w, "other_status\t%d\n", other)
+	fmt.Fprintf(w, "throughput_rps\t%.1f\n", float64(total)/elapsed.Seconds())
+	fmt.Fprintf(w, "latency_p50_ms\t%.3f\n", pct(0.50))
+	fmt.Fprintf(w, "latency_p90_ms\t%.3f\n", pct(0.90))
+	fmt.Fprintf(w, "latency_p99_ms\t%.3f\n", pct(0.99))
+	if len(lats) > 0 {
+		fmt.Fprintf(w, "latency_max_ms\t%.3f\n", lats[len(lats)-1])
+	}
+	fmt.Fprintf(w, "cache_hits\t%d\n", hits)
+	fmt.Fprintf(w, "cache_misses\t%d\n", misses)
+	fmt.Fprintf(w, "cache_coalesced\t%d\n", coalesced)
+	fmt.Fprintf(w, "cache_hit_rate\t%.3f\n", hitRate)
+	fmt.Fprintf(w, "engine_queries\t%d\n", engineQueries)
+	fmt.Fprintf(w, "server_epoch\t%d\n", after.Epoch)
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/simrank/simpush"
+	"github.com/simrank/simpush/internal/server"
+)
+
+// TestHTTPLoadAgainstServer runs the load generator end to end against an
+// in-process serving stack and checks the acceptance path: a
+// repeated-query (hot) workload must report throughput, latency
+// percentiles, and a nonzero cache hit rate.
+func TestHTTPLoadAgainstServer(t *testing.T) {
+	g, err := simpush.SyntheticWebGraph(400, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := simpush.NewClient(g, simpush.Options{Epsilon: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	srv, err := server.New(server.Config{Client: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var out strings.Builder
+	err = runHTTPLoad(&out, loadOptions{
+		base:        ts.URL,
+		duration:    300 * time.Millisecond,
+		concurrency: 4,
+		endpoint:    "single-source",
+		hot:         4,   // tiny hot set:
+		hotFrac:     1.0, // every request repeats → hits dominate
+		timeout:     10 * time.Second,
+		seed:        99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"throughput_rps", "latency_p50_ms", "latency_p99_ms", "cache_hit_rate"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "cache_hit_rate\t0.000") {
+		t.Fatalf("pure hot workload reported zero cache hit rate:\n%s", report)
+	}
+	if strings.Contains(report, "requests\t0\n") {
+		t.Fatalf("no requests issued:\n%s", report)
+	}
+}
+
+func TestRunHTTPLoadValidatesEndpoint(t *testing.T) {
+	var out strings.Builder
+	if err := runHTTPLoad(&out, loadOptions{base: "http://127.0.0.1:1", endpoint: "bogus"}); err == nil {
+		t.Fatal("bogus endpoint accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated is returned by acquire when the in-flight limit is reached
+// and the wait queue is full; handlers translate it to 429 + Retry-After.
+var errSaturated = errors.New("server: saturated: in-flight limit reached and wait queue full")
+
+// admission bounds the number of engine computations running at once and
+// the number of requests allowed to wait for a slot. Beyond both bounds
+// requests are rejected immediately — under overload the server sheds
+// load with a fast 429 instead of building an unbounded goroutine queue
+// whose tail latency nobody survives.
+type admission struct {
+	slots    chan struct{} // buffered to the in-flight limit
+	maxQueue int64
+	queued   atomic.Int64
+	rejected atomic.Uint64
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire takes a slot, waiting in the bounded queue if none is free. It
+// returns errSaturated when the queue is full, and ctx.Err() if the
+// request deadline expires while waiting.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.rejected.Add(1)
+		return errSaturated
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// acquireUpTo takes one slot (waiting in the bounded queue like acquire)
+// plus up to n-1 more without waiting, and returns how many it holds.
+// The extra slots are best-effort on purpose: a multi-slot caller that
+// blocked while holding slots could deadlock against another multi-slot
+// caller, so beyond the first slot it only ever takes what is free now.
+func (a *admission) acquireUpTo(ctx context.Context, n int) (int, error) {
+	if err := a.acquire(ctx); err != nil {
+		return 0, err
+	}
+	held := 1
+	for held < n {
+		select {
+		case a.slots <- struct{}{}:
+			held++
+		default:
+			return held, nil
+		}
+	}
+	return held, nil
+}
+
+func (a *admission) releaseN(n int) {
+	for i := 0; i < n; i++ {
+		<-a.slots
+	}
+}
+
+// inFlight reports the number of held slots.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queueDepth reports the number of requests waiting for a slot.
+func (a *admission) queueDepth() int64 { return a.queued.Load() }

@@ -1,0 +1,603 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/simrank/simpush"
+	"github.com/simrank/simpush/internal/cache"
+)
+
+// httpError carries an HTTP status plus a stable machine-readable code;
+// every error response has the shape {"error": msg, "code": code}.
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrf(status int, code, format string, args ...any) *httpError {
+	return &httpError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// mapError classifies an error from the query path into an HTTP response.
+func mapError(err error) *httpError {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he
+	case errors.Is(err, simpush.ErrNodeOutOfRange):
+		return httpErrf(http.StatusNotFound, "node_not_found", "%v", err)
+	case errors.Is(err, simpush.ErrInvalidOptions):
+		return httpErrf(http.StatusBadRequest, "invalid_options", "%v", err)
+	case errors.Is(err, errSaturated):
+		return httpErrf(http.StatusTooManyRequests, "saturated", "%v", err)
+	case errors.Is(err, simpush.ErrClientClosed):
+		return httpErrf(http.StatusServiceUnavailable, "shutting_down", "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return httpErrf(http.StatusGatewayTimeout, "deadline_exceeded", "request deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// 499: nginx's "client closed request"; the client is gone, the
+		// status is for the access log.
+		return httpErrf(499, "client_closed_request", "client closed request")
+	default:
+		return httpErrf(http.StatusInternalServerError, "internal", "%v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
+	if he.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+	}
+	writeJSON(w, he.status, map[string]string{"error": he.msg, "code": he.code})
+}
+
+func writeMethodNotAllowed(w http.ResponseWriter, allow ...string) {
+	w.Header().Set("Allow", strings.Join(allow, ", "))
+	writeJSON(w, http.StatusMethodNotAllowed, map[string]string{
+		"error": "method not allowed", "code": "method_not_allowed",
+	})
+}
+
+// queryParams is the parsed, canonicalized per-query parameter set. Its
+// canonical encoding doubles as the cache-key params component, so two
+// requests spelled differently ("eps=0.05" vs "eps=5e-2") share an entry.
+type queryParams struct {
+	eps, delta float64
+	seed       uint64
+	hasSeed    bool
+	maxWalks   int
+	hasWalks   bool
+}
+
+func parseQueryParams(r *http.Request) (queryParams, *httpError) {
+	var p queryParams
+	q := r.URL.Query()
+	if v := q.Get("eps"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return p, httpErrf(http.StatusBadRequest, "bad_parameter", "eps: %v", err)
+		}
+		p.eps = f
+	}
+	if v := q.Get("delta"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return p, httpErrf(http.StatusBadRequest, "bad_parameter", "delta: %v", err)
+		}
+		p.delta = f
+	}
+	if v := q.Get("seed"); v != "" {
+		u, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return p, httpErrf(http.StatusBadRequest, "bad_parameter", "seed: %v", err)
+		}
+		p.seed, p.hasSeed = u, true
+	}
+	if v := q.Get("max_walks"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return p, httpErrf(http.StatusBadRequest, "bad_parameter", "max_walks: %v", err)
+		}
+		p.maxWalks, p.hasWalks = n, true
+	}
+	return p, nil
+}
+
+func (p queryParams) options() []simpush.QueryOption {
+	var opts []simpush.QueryOption
+	if p.eps != 0 {
+		opts = append(opts, simpush.WithEpsilon(p.eps))
+	}
+	if p.delta != 0 {
+		opts = append(opts, simpush.WithDelta(p.delta))
+	}
+	if p.hasSeed {
+		opts = append(opts, simpush.WithSeed(p.seed))
+	}
+	if p.hasWalks {
+		opts = append(opts, simpush.WithMaxWalks(p.maxWalks))
+	}
+	return opts
+}
+
+func (p queryParams) canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "eps=%g;delta=%g", p.eps, p.delta)
+	if p.hasSeed {
+		fmt.Fprintf(&b, ";seed=%d", p.seed)
+	}
+	if p.hasWalks {
+		fmt.Fprintf(&b, ";walks=%d", p.maxWalks)
+	}
+	return b.String()
+}
+
+func parseNode(r *http.Request, name string) (int32, *httpError) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, httpErrf(http.StatusBadRequest, "missing_parameter", "missing required parameter %q", name)
+	}
+	n, err := strconv.ParseInt(v, 10, 32)
+	if err != nil {
+		return 0, httpErrf(http.StatusBadRequest, "bad_parameter", "%s: %v", name, err)
+	}
+	return int32(n), nil
+}
+
+// requestCtx derives the per-request deadline context: ?timeout= (clamped
+// to MaxTimeout) or the configured default. The deadline propagates into
+// the engine stages, interrupting walks and pushes mid-query.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, *httpError) {
+	d := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		parsed, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, nil, httpErrf(http.StatusBadRequest, "bad_parameter", "timeout: %v", err)
+		}
+		if parsed <= 0 {
+			return nil, nil, httpErrf(http.StatusBadRequest, "bad_parameter", "timeout must be positive")
+		}
+		d = parsed
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// scoreEntry is one sparse score-vector entry.
+type scoreEntry struct {
+	Node  int32   `json:"node"`
+	Score float64 `json:"score"`
+}
+
+func sparseScores(scores []float64) []scoreEntry {
+	out := make([]scoreEntry, 0, 64)
+	for v, sc := range scores {
+		if sc != 0 {
+			out = append(out, scoreEntry{Node: int32(v), Score: sc})
+		}
+	}
+	return out
+}
+
+func rankedEntries(rs []simpush.Ranked) []scoreEntry {
+	out := make([]scoreEntry, len(rs))
+	for i, r := range rs {
+		out[i] = scoreEntry{Node: r.Node, Score: r.Score}
+	}
+	return out
+}
+
+// pinView snapshots the source once for this request, pinning the epoch
+// every cache key and computation of the request uses.
+func (s *Server) pinView(ctx context.Context) (*simpush.View, *httpError) {
+	view, err := s.client.View(ctx)
+	if err != nil {
+		return nil, mapError(err)
+	}
+	s.noteEpoch(view.Epoch())
+	return view, nil
+}
+
+// admitted wraps an engine computation in admission control: it consumes
+// one in-flight slot (possibly waiting in the bounded queue) for the
+// duration of compute.
+func admitted[T any](s *Server, ctx context.Context, compute func() (T, error)) (T, error) {
+	var zero T
+	if err := s.adm.acquire(ctx); err != nil {
+		return zero, err
+	}
+	defer s.adm.release()
+	return compute()
+}
+
+// flightCompute wraps a coalesced engine computation: the flight context
+// the cache supplies (cancelled only when every interested caller has
+// left) is capped by the server-side maximum timeout, and the work runs
+// under admission control.
+func flightCompute[T any](s *Server, fctx context.Context, compute func(context.Context) (T, error)) (any, error) {
+	cctx, cancel := context.WithTimeout(fctx, s.cfg.MaxTimeout)
+	defer cancel()
+	return admitted(s, cctx, func() (T, error) {
+		return compute(cctx)
+	})
+}
+
+// GET /v1/single-source?node=&eps=&delta=&seed=&max_walks=&timeout=&dense=
+func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	u, herr := parseNode(r, "node")
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	qp, herr := parseQueryParams(r)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	ctx, cancel, herr := s.requestCtx(r)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer cancel()
+	view, herr := s.pinView(ctx)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+
+	key := cache.Key{Epoch: view.Epoch(), Kind: "single-source", Node: u, Params: qp.canonical()}
+	v, outcome, err := s.cache.Do(ctx, key, func(fctx context.Context) (any, error) {
+		return flightCompute(s, fctx, func(cctx context.Context) (*simpush.Result, error) {
+			return view.SingleSource(cctx, u, qp.options()...)
+		})
+	})
+	if err != nil {
+		s.writeError(w, mapError(err))
+		return
+	}
+	res := v.(*simpush.Result)
+
+	resp := map[string]any{
+		"node":  u,
+		"epoch": view.Epoch(),
+		"cache": outcome.String(),
+		"n":     len(res.Scores),
+		"l":     res.L,
+		"walks": res.Walks,
+	}
+	if r.URL.Query().Get("dense") == "1" {
+		resp["dense_scores"] = res.Scores
+	} else {
+		sp := sparseScores(res.Scores)
+		resp["nnz"] = len(sp)
+		resp["scores"] = sp
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// GET /v1/topk?node=&k=&eps=&delta=&seed=&max_walks=&timeout=
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	u, herr := parseNode(r, "node")
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.writeError(w, httpErrf(http.StatusBadRequest, "bad_parameter", "k must be a positive integer"))
+			return
+		}
+		k = n
+	}
+	qp, herr := parseQueryParams(r)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	ctx, cancel, herr := s.requestCtx(r)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer cancel()
+	view, herr := s.pinView(ctx)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+
+	key := cache.Key{Epoch: view.Epoch(), Kind: "topk", Node: u, Aux: int64(k), Params: qp.canonical()}
+	v, outcome, err := s.cache.Do(ctx, key, func(fctx context.Context) (any, error) {
+		return flightCompute(s, fctx, func(cctx context.Context) ([]simpush.Ranked, error) {
+			return view.TopK(cctx, u, k, qp.options()...)
+		})
+	})
+	if err != nil {
+		s.writeError(w, mapError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node":    u,
+		"k":       k,
+		"epoch":   view.Epoch(),
+		"cache":   outcome.String(),
+		"results": rankedEntries(v.([]simpush.Ranked)),
+	})
+}
+
+// GET /v1/pair?u=&v=&eps=&delta=&seed=&max_walks=&timeout=
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	u, herr := parseNode(r, "u")
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	vNode, herr := parseNode(r, "v")
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	qp, herr := parseQueryParams(r)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	ctx, cancel, herr := s.requestCtx(r)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer cancel()
+	view, herr := s.pinView(ctx)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+
+	key := cache.Key{Epoch: view.Epoch(), Kind: "pair", Node: u, Aux: int64(vNode), Params: qp.canonical()}
+	val, outcome, err := s.cache.Do(ctx, key, func(fctx context.Context) (any, error) {
+		return flightCompute(s, fctx, func(cctx context.Context) (float64, error) {
+			return view.Pair(cctx, u, vNode, qp.options()...)
+		})
+	})
+	if err != nil {
+		s.writeError(w, mapError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u":     u,
+		"v":     vNode,
+		"epoch": view.Epoch(),
+		"cache": outcome.String(),
+		"score": val.(float64),
+	})
+}
+
+// batchRequest is the POST /v1/batch body.
+type batchRequest struct {
+	Nodes       []int32 `json:"nodes"`
+	K           int     `json:"k"`
+	Parallelism int     `json:"parallelism"`
+	Eps         float64 `json:"eps"`
+	Delta       float64 `json:"delta"`
+	Seed        *uint64 `json:"seed"`
+	MaxWalks    *int    `json:"max_walks"`
+}
+
+// POST /v1/batch — many single-source queries pinned to one epoch. The
+// batch reads and fills the same per-node single-source cache entries the
+// GET endpoint uses: cached nodes are reused, the rest run over the
+// engine pool under one admission slot.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeMethodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, httpErrf(http.StatusBadRequest, "bad_body", "decoding JSON body: %v", err))
+		return
+	}
+	if len(req.Nodes) == 0 {
+		s.writeError(w, httpErrf(http.StatusBadRequest, "missing_parameter", "body must name at least one node"))
+		return
+	}
+	if len(req.Nodes) > s.cfg.MaxBatch {
+		s.writeError(w, httpErrf(http.StatusRequestEntityTooLarge, "batch_too_large",
+			"batch of %d nodes exceeds the limit of %d", len(req.Nodes), s.cfg.MaxBatch))
+		return
+	}
+	if req.K < 0 {
+		s.writeError(w, httpErrf(http.StatusBadRequest, "bad_parameter", "k must be >= 0"))
+		return
+	}
+	qp := queryParams{eps: req.Eps, delta: req.Delta}
+	if req.Seed != nil {
+		qp.seed, qp.hasSeed = *req.Seed, true
+	}
+	if req.MaxWalks != nil {
+		qp.maxWalks, qp.hasWalks = *req.MaxWalks, true
+	}
+	ctx, cancel, herr := s.requestCtx(r)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer cancel()
+	view, herr := s.pinView(ctx)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+
+	// Split the batch into cache hits and misses on this epoch; duplicate
+	// nodes within one batch are computed once.
+	params := qp.canonical()
+	rows := make([]*simpush.Result, len(req.Nodes))
+	idxByNode := make(map[int32][]int)
+	var missing []int32
+	cached := 0
+	for i, node := range req.Nodes {
+		key := cache.Key{Epoch: view.Epoch(), Kind: "single-source", Node: node, Params: params}
+		if v, ok := s.cache.Get(key); ok {
+			rows[i] = v.(*simpush.Result)
+			cached++
+			continue
+		}
+		if _, dup := idxByNode[node]; !dup {
+			missing = append(missing, node)
+		}
+		idxByNode[node] = append(idxByNode[node], i)
+	}
+
+	if len(missing) > 0 {
+		// Admission holds one slot per batch worker, so concurrent batches
+		// cannot multiply engine concurrency past MaxInFlight: the batch
+		// waits (bounded) for its first slot and widens only by the slots
+		// that are free right now.
+		want := req.Parallelism
+		if want <= 0 || want > s.cfg.MaxInFlight {
+			want = s.cfg.MaxInFlight
+		}
+		if want > len(missing) {
+			want = len(missing)
+		}
+		held, err := s.adm.acquireUpTo(ctx, want)
+		if err != nil {
+			s.writeError(w, mapError(err))
+			return
+		}
+		computed, err := view.BatchSingleSource(ctx, missing, held, qp.options()...)
+		s.adm.releaseN(held)
+		if err != nil {
+			s.writeError(w, mapError(err))
+			return
+		}
+		for j, res := range computed {
+			for _, i := range idxByNode[missing[j]] {
+				rows[i] = res
+			}
+			key := cache.Key{Epoch: view.Epoch(), Kind: "single-source", Node: missing[j], Params: params}
+			s.cache.Put(key, res)
+		}
+	}
+
+	results := make([]map[string]any, len(req.Nodes))
+	for i, node := range req.Nodes {
+		entry := map[string]any{"node": node}
+		if req.K > 0 {
+			entry["results"] = rankedEntries(simpush.TopK(rows[i].Scores, req.K, node))
+		} else {
+			sp := sparseScores(rows[i].Scores)
+			entry["nnz"] = len(sp)
+			entry["scores"] = sp
+		}
+		results[i] = entry
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":   view.Epoch(),
+		"count":   len(req.Nodes),
+		"cached":  cached,
+		"results": results,
+	})
+}
+
+// edgeSpec is one edge of a mutation request.
+type edgeSpec struct {
+	From int32 `json:"from"`
+	To   int32 `json:"to"`
+}
+
+// edgesRequest accepts either a single edge ({"from":u,"to":v}) or a
+// list ({"edges":[...]}).
+type edgesRequest struct {
+	From  *int32     `json:"from"`
+	To    *int32     `json:"to"`
+	Edges []edgeSpec `json:"edges"`
+}
+
+// POST /v1/edges adds edges; DELETE /v1/edges marks them for removal.
+// Removal validation is lazy (the dynamic graph's contract): removing a
+// nonexistent edge surfaces as an error on the next snapshot — that is,
+// the next query — and the source then recovers.
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+		writeMethodNotAllowed(w, http.MethodPost, http.MethodDelete)
+		return
+	}
+	if s.dyn == nil {
+		s.writeError(w, httpErrf(http.StatusNotImplemented, "static_source",
+			"graph source is static; serve a DynamicGraph to enable mutations"))
+		return
+	}
+	var req edgesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, httpErrf(http.StatusBadRequest, "bad_body", "decoding JSON body: %v", err))
+		return
+	}
+	edges := req.Edges
+	if req.From != nil || req.To != nil {
+		if req.From == nil || req.To == nil {
+			s.writeError(w, httpErrf(http.StatusBadRequest, "bad_body", `"from" and "to" must be set together`))
+			return
+		}
+		edges = append(edges, edgeSpec{From: *req.From, To: *req.To})
+	}
+	if len(edges) == 0 {
+		s.writeError(w, httpErrf(http.StatusBadRequest, "missing_parameter", "body names no edges"))
+		return
+	}
+	if r.Method == http.MethodDelete {
+		// Lazy removal validation is for edges that may have existed and
+		// raced away — ids that can never exist must not poison the next
+		// snapshot (a 500 on some unrelated user's query); reject them
+		// eagerly like POST does.
+		for _, e := range edges {
+			if e.From < 0 || e.To < 0 {
+				s.writeError(w, httpErrf(http.StatusBadRequest, "bad_edge",
+					"negative node id (%d, %d)", e.From, e.To))
+				return
+			}
+		}
+	}
+	applied := 0
+	for _, e := range edges {
+		if r.Method == http.MethodPost {
+			if err := s.dyn.AddEdge(e.From, e.To); err != nil {
+				s.writeError(w, httpErrf(http.StatusBadRequest, "bad_edge", "%v (applied %d of %d)", err, applied, len(edges)))
+				return
+			}
+		} else {
+			s.dyn.RemoveEdge(e.From, e.To)
+		}
+		applied++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": applied})
+}

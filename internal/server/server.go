@@ -1,0 +1,337 @@
+// Package server is the HTTP serving subsystem behind cmd/simrankd: it
+// exposes the full simpush query surface over HTTP/JSON and implements
+// the three serving layers that turn the library into a daemon able to
+// absorb heavy repeated traffic:
+//
+//  1. an epoch-aware result cache (internal/cache) keyed by
+//     (epoch, kind, node, params) — entries computed on a superseded graph
+//     epoch become structurally unreachable when the source advances, so
+//     a cached result can never be served stale;
+//  2. single-flight coalescing — N concurrent identical queries on one
+//     epoch run the engine once and share the result;
+//  3. admission control — a bounded in-flight limit plus a bounded wait
+//     queue around engine computations; beyond both the server sheds load
+//     with 429 + Retry-After instead of queueing unboundedly.
+//
+// Every request carries a deadline (the ?timeout parameter, clamped to a
+// configured maximum) that is propagated as a context timeout into the
+// engine stages, so overload cannot strand goroutines in long queries.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/simrank/simpush"
+	"github.com/simrank/simpush/internal/cache"
+)
+
+// Config parameterizes a Server. The zero value of every field selects a
+// sensible default; only Client is required.
+type Config struct {
+	// Client serves the queries. Required.
+	Client *simpush.Client
+
+	// CacheEntries bounds the result cache. 0 (the default) auto-sizes
+	// the bound from a ~256 MB budget divided by the graph's row cost, so
+	// web-scale graphs don't admit thousands of O(n) rows. Negative
+	// disables result storage while keeping single-flight coalescing.
+	CacheEntries int
+
+	// MaxInFlight bounds concurrently running engine computations
+	// (default 2×GOMAXPROCS).
+	MaxInFlight int
+
+	// MaxQueue bounds requests waiting for an engine slot (default
+	// 4×MaxInFlight). Requests beyond it receive 429 with Retry-After.
+	MaxQueue int
+
+	// DefaultTimeout is the per-request deadline when the request does not
+	// set ?timeout (default 10s).
+	DefaultTimeout time.Duration
+
+	// MaxTimeout clamps the ?timeout parameter (default 60s).
+	MaxTimeout time.Duration
+
+	// MaxBatch bounds the node count of one /v1/batch request
+	// (default 256).
+	MaxBatch int
+
+	// RetryAfter is the value of the Retry-After header on 429 responses,
+	// in seconds (default 1).
+	RetryAfter int
+}
+
+// A cached single-source row is a dense length-n []float64 (~8n bytes),
+// so a fixed entry count would admit entries × O(n) bytes on web-scale
+// graphs. The default bound targets a byte budget instead.
+const defaultCacheBudgetBytes = 256 << 20
+
+func defaultCacheEntries(n int32) int {
+	per := 16 * int64(n) // dense row + result metadata, with margin
+	if per < 1 {
+		per = 1
+	}
+	e := defaultCacheBudgetBytes / per
+	if e > 4096 {
+		e = 4096
+	}
+	if e < 16 {
+		e = 16
+	}
+	return int(e)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+	return c
+}
+
+// Server handles the simrankd HTTP API. Construct with New, mount via
+// Handler (it implements http.Handler itself), and call Drain before
+// shutting the listener down so load balancers see /healthz flip first.
+type Server struct {
+	cfg      Config
+	client   *simpush.Client
+	dyn      *simpush.DynamicGraph // nil when the source is static
+	cache    *cache.Cache
+	adm      *admission
+	mux      *http.ServeMux
+	draining atomic.Bool
+	start    time.Time
+
+	requests  atomic.Uint64
+	errors    atomic.Uint64 // responses with status >= 400
+	byKind    [kindCount]atomic.Uint64
+	lastEpoch atomic.Uint64 // highest epoch seen; drives opportunistic sweeps
+}
+
+// endpoint indices for the per-kind request counters.
+const (
+	kSingleSource = iota
+	kTopK
+	kPair
+	kBatch
+	kEdges
+	kHealth
+	kStats
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	"single-source", "topk", "pair", "batch", "edges", "healthz", "statsz",
+}
+
+// New builds a Server around an existing Client. If the client's graph
+// source is a *DynamicGraph the mutation endpoints are live; against a
+// static source they answer 501.
+func New(cfg Config) (*Server, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("server: Config.Client is required")
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = defaultCacheEntries(cfg.Client.Graph().N())
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		client: cfg.Client,
+		cache:  cache.New(cfg.CacheEntries),
+		adm:    newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	if dyn, ok := cfg.Client.Source().(*simpush.DynamicGraph); ok {
+		s.dyn = dyn
+	}
+	s.mux.HandleFunc("/v1/single-source", s.count(kSingleSource, s.handleSingleSource))
+	s.mux.HandleFunc("/v1/topk", s.count(kTopK, s.handleTopK))
+	s.mux.HandleFunc("/v1/pair", s.count(kPair, s.handlePair))
+	s.mux.HandleFunc("/v1/batch", s.count(kBatch, s.handleBatch))
+	s.mux.HandleFunc("/v1/edges", s.count(kEdges, s.handleEdges))
+	s.mux.HandleFunc("/healthz", s.count(kHealth, s.handleHealthz))
+	s.mux.HandleFunc("/statsz", s.count(kStats, s.handleStatsz))
+	return s, nil
+}
+
+// Handler returns the root handler of the API.
+func (s *Server) Handler() http.Handler { return s }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain flips /healthz to 503 so load balancers stop routing here, while
+// all other endpoints keep serving. Call it before http.Server.Shutdown;
+// pair with Client.Close once the listener has drained.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Cache exposes the result cache (used by tests and stats).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+func (s *Server) count(kind int, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.byKind[kind].Add(1)
+		h(&statusWriter{ResponseWriter: w, server: s}, r)
+	}
+}
+
+// statusWriter counts error responses without wrapping every handler in
+// its own bookkeeping.
+type statusWriter struct {
+	http.ResponseWriter
+	server *Server
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if !sw.wrote {
+		sw.wrote = true
+		if status >= 400 {
+			sw.server.errors.Add(1)
+		}
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+// noteEpoch records the epoch a request pinned and opportunistically
+// sweeps superseded entries when it advances. Correctness does not depend
+// on the sweep (epochs are in the cache key); it only reclaims memory
+// promptly on fast-mutating sources.
+func (s *Server) noteEpoch(epoch uint64) {
+	for {
+		old := s.lastEpoch.Load()
+		if old >= epoch {
+			return
+		}
+		if s.lastEpoch.CompareAndSwap(old, epoch) {
+			s.cache.Sweep(epoch)
+			return
+		}
+	}
+}
+
+// StatsSnapshot is the /statsz payload.
+type StatsSnapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Epoch         uint64            `json:"epoch"`
+	GraphN        int32             `json:"graph_n"`
+	GraphM        int64             `json:"graph_m"`
+	Draining      bool              `json:"draining"`
+	Requests      uint64            `json:"requests"`
+	ErrorCount    uint64            `json:"error_responses"`
+	ByEndpoint    map[string]uint64 `json:"requests_by_endpoint"`
+	Cache         cache.Stats       `json:"cache"`
+	Admission     AdmissionStats    `json:"admission"`
+	Client        ClientStats       `json:"client"`
+}
+
+// AdmissionStats describes the admission controller's current state.
+type AdmissionStats struct {
+	MaxInFlight int    `json:"max_in_flight"`
+	InFlight    int    `json:"in_flight"`
+	MaxQueue    int    `json:"max_queue"`
+	QueueDepth  int64  `json:"queue_depth"`
+	Rejected    uint64 `json:"rejected"`
+}
+
+// ClientStats mirrors simpush.ClientStats with JSON tags.
+type ClientStats struct {
+	Queries  uint64 `json:"queries"`
+	Errors   uint64 `json:"errors"`
+	InFlight int64  `json:"in_flight"`
+}
+
+// Stats assembles a point-in-time snapshot of every serving counter.
+func (s *Server) Stats() StatsSnapshot {
+	g := s.client.Graph()
+	cs := s.client.Stats()
+	snap := StatsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Epoch:         s.lastEpoch.Load(),
+		Draining:      s.draining.Load(),
+		Requests:      s.requests.Load(),
+		ErrorCount:    s.errors.Load(),
+		ByEndpoint:    make(map[string]uint64, kindCount),
+		Cache:         s.cache.Stats(),
+		Admission: AdmissionStats{
+			MaxInFlight: s.cfg.MaxInFlight,
+			InFlight:    s.adm.inFlight(),
+			MaxQueue:    s.cfg.MaxQueue,
+			QueueDepth:  s.adm.queueDepth(),
+			Rejected:    s.adm.rejected.Load(),
+		},
+		Client: ClientStats{Queries: cs.Queries, Errors: cs.Errors, InFlight: cs.InFlight},
+	}
+	if g != nil {
+		snap.GraphN = g.N()
+		snap.GraphM = g.M()
+	}
+	for i, name := range kindNames {
+		snap.ByEndpoint[name] = s.byKind[i].Load()
+	}
+	return snap
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	epoch, err := s.client.Epoch()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "degraded", "error": err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": epoch})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -38,10 +38,14 @@ func (c *Client) TopKAdaptive(ctx context.Context, u int32, k int, startEps, flo
 	return c.topKAdaptiveOn(ctx, g, u, k, startEps, floorEps, opts)
 }
 
-func (c *Client) topKAdaptiveOn(ctx context.Context, g *Graph, u int32, k int, startEps, floorEps float64, opts []QueryOption) (*AdaptiveTopK, error) {
+func (c *Client) topKAdaptiveOn(ctx context.Context, g *Graph, u int32, k int, startEps, floorEps float64, opts []QueryOption) (_ *AdaptiveTopK, err error) {
 	if k < 1 {
 		return nil, fmt.Errorf("simpush: %w: k must be >= 1, got %d", ErrInvalidOptions, k)
 	}
+	if err := c.begin(); err != nil {
+		return nil, err
+	}
+	defer func() { c.end(err) }()
 	if startEps == 0 {
 		startEps = 0.08
 	}
@@ -62,6 +66,7 @@ func (c *Client) topKAdaptiveOn(ctx context.Context, g *Graph, u int32, k int, s
 	for eps := startEps; ; eps /= 2 {
 		qo := base
 		qo.Epsilon = eps
+		c.stats.queries.Add(1)
 		res, err := eng.QueryCtx(ctx, u, qo)
 		if err != nil {
 			return nil, err
