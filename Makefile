@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench serve smoke
+.PHONY: all build test race vet fmt check bench bench-json serve smoke
 
 all: check
 
@@ -27,6 +27,10 @@ check: fmt vet race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Serial-vs-parallel stage benchmarks → BENCH_PR5.json (perf trajectory).
+bench-json:
+	./scripts/bench.sh
 
 # Serve a synthetic dataset stand-in on :8080 (override with ARGS).
 serve:

@@ -57,6 +57,22 @@ func WithMaxWalks(n int) QueryOption {
 	return func(q *core.QueryOpts) { q.MaxWalks = n; q.HasMaxWalks = true }
 }
 
+// WithParallelism sets the intra-query worker count for one query: walk
+// sampling, the γ loop, and Reverse-Push level sweeps fan out across k
+// goroutines (0 or 1 = serial, the default). Results are deterministic in
+// (seed, k) — independent of GOMAXPROCS — but different k values yield
+// slightly different (equally valid within ε) estimates, so pin k along
+// with the seed when reproducibility matters. Combine with the client's
+// Options.Parallelism field to set an engine-wide default instead.
+//
+// Parallelism multiplies a query's CPU footprint; when queries already
+// run concurrently (BatchSingleSource, a serving layer), keep
+// concurrency × k within the core budget. BatchSingleSource's default
+// worker count divides GOMAXPROCS by k automatically.
+func WithParallelism(k int) QueryOption {
+	return func(q *core.QueryOpts) { q.Parallelism = k; q.HasParallelism = true }
+}
+
 func buildQueryOpts(opts []QueryOption) core.QueryOpts {
 	var qo core.QueryOpts
 	for _, o := range opts {
@@ -348,8 +364,19 @@ func (c *Client) batchSingleSourceOn(ctx context.Context, g *Graph, queries []in
 		return nil, err
 	}
 	defer func() { c.end(err) }()
+	qo := buildQueryOpts(opts)
 	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+		// Divide the core budget between batch workers and intra-query
+		// workers: a batch of queries that each fan out k-wide must not
+		// oversubscribe GOMAXPROCS² goroutines' worth of work.
+		intra := c.opt.Parallelism
+		if qo.HasParallelism {
+			intra = qo.Parallelism
+		}
+		if intra < 1 {
+			intra = 1
+		}
+		parallelism = runtime.GOMAXPROCS(0) / intra
 	}
 	if parallelism > len(queries) {
 		parallelism = len(queries)
@@ -362,7 +389,6 @@ func (c *Client) batchSingleSourceOn(ctx context.Context, g *Graph, queries []in
 			return nil, fmt.Errorf("simpush: %w: query node %d not in [0, %d)", ErrNodeOutOfRange, u, g.N())
 		}
 	}
-	qo := buildQueryOpts(opts)
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 

@@ -28,6 +28,13 @@
 //
 //	simbench -http http://localhost:8080 -http-duration 30s \
 //	    -http-concurrency 16 -http-hot 32 -http-hotfrac 0.8
+//
+// Parallelism mode (-parallelism k, k > 1) measures intra-query speedup:
+// it runs the same seeded single-source queries serially and with
+// WithParallelism(k) and prints per-stage (Source-Push, γ, Reverse-Push)
+// and end-to-end serial-vs-parallel ratios from StageDurations:
+//
+//	simbench -parallelism 8 -datasets dblp-sim -scale 0.25 -queries 20
 package main
 
 import (
@@ -55,6 +62,7 @@ func main() {
 		methods      = flag.String("methods", "", "comma-separated method filter")
 		seed         = flag.Uint64("seed", 0x51e9a7, "random seed")
 		verbose      = flag.Bool("v", true, "progress logging to stderr")
+		parallelism  = flag.Int("parallelism", 0, "measure intra-query speedup: serial vs this many workers per query (>1 activates)")
 
 		httpBase    = flag.String("http", "", "drive a running simrankd at this base URL instead of the library")
 		httpDur     = flag.Duration("http-duration", 10*time.Second, "HTTP load window")
@@ -82,6 +90,20 @@ func main() {
 			seed:        *seed,
 		})
 		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *parallelism > 1 {
+		dss, err := selectDatasets(*datasets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(2)
+		}
+		popt := parallelOptions{k: *parallelism, scale: *scale, queries: *queries, seed: *seed}
+		if err := runParallelBench(os.Stdout, dss, popt); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 			os.Exit(1)
 		}

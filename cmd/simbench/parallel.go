@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/simrank/simpush"
+	"github.com/simrank/simpush/internal/gen"
+)
+
+// parallelOptions parameterizes the intra-query speedup experiment.
+type parallelOptions struct {
+	k       int
+	scale   float64
+	queries int
+	seed    uint64
+}
+
+// stageTotals accumulates per-stage and end-to-end wall time over a query
+// workload.
+type stageTotals struct {
+	sourcePush, gamma, reversePush, total time.Duration
+}
+
+func (st *stageTotals) add(res *simpush.Result, wall time.Duration) {
+	st.sourcePush += res.Durations.SourcePush
+	st.gamma += res.Durations.Gamma
+	st.reversePush += res.Durations.ReversePush
+	st.total += wall
+}
+
+// runParallelBench reports the serial-vs-parallel speedup of the three
+// SimPush stages (from Result.StageDurations) and of the end-to-end query,
+// per dataset. Queries are seeded pairwise (same seed serial and parallel)
+// so the comparison holds the workload fixed up to the documented
+// substream difference.
+func runParallelBench(w io.Writer, datasets []gen.Dataset, opt parallelOptions) error {
+	fmt.Fprintf(w, "# intra-query parallelism: serial vs k=%d (%d queries per dataset)\n", opt.k, opt.queries)
+	fmt.Fprintln(w, "dataset\tstage\tserial_ms\tparallel_ms\tspeedup")
+	for _, ds := range datasets {
+		g, err := ds.Generate(opt.scale)
+		if err != nil {
+			return err
+		}
+		client, err := simpush.NewClient(g, simpush.Options{Epsilon: 0.02, Seed: opt.seed})
+		if err != nil {
+			return err
+		}
+		var serial, parallel stageTotals
+		for i := 0; i < opt.queries; i++ {
+			u := int32(uint64(i) * 9973 % uint64(g.N()))
+			seedOpt := simpush.WithSeed(opt.seed + uint64(i))
+			t0 := time.Now()
+			rs, err := client.SingleSource(context.Background(), u, seedOpt)
+			if err != nil {
+				return err
+			}
+			serial.add(rs, time.Since(t0))
+			t1 := time.Now()
+			rp, err := client.SingleSource(context.Background(), u, seedOpt, simpush.WithParallelism(opt.k))
+			if err != nil {
+				return err
+			}
+			parallel.add(rp, time.Since(t1))
+		}
+		client.Close()
+		rows := []struct {
+			stage    string
+			ser, par time.Duration
+		}{
+			{"source-push", serial.sourcePush, parallel.sourcePush},
+			{"gamma", serial.gamma, parallel.gamma},
+			{"reverse-push", serial.reversePush, parallel.reversePush},
+			{"end-to-end", serial.total, parallel.total},
+		}
+		for _, r := range rows {
+			speedup := 0.0
+			if r.par > 0 {
+				speedup = float64(r.ser) / float64(r.par)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.2f\n",
+				ds.Name, r.stage,
+				float64(r.ser.Microseconds())/1e3/float64(opt.queries),
+				float64(r.par.Microseconds())/1e3/float64(opt.queries),
+				speedup)
+		}
+	}
+	return nil
+}

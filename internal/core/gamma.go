@@ -1,5 +1,54 @@
 package core
 
+import "context"
+
+// gammaScratch is the Algorithm 4 working set: dense ρ values over
+// attention indices plus the touched list that resets them in O(touched).
+// The engine owns one for the serial path; each parallel worker owns its
+// own, so concurrent computeGamma calls never share state.
+type gammaScratch struct {
+	rhoVal     []float64
+	rhoIn      []bool
+	rhoTouched []int32
+}
+
+// ensure sizes the scratch to the number of attention nodes (bounded by
+// Lemma 2, but sized to the actual count).
+func (gs *gammaScratch) ensure(numAtt int) {
+	if len(gs.rhoVal) < numAtt {
+		gs.rhoVal = make([]float64, numAtt)
+		gs.rhoIn = make([]bool, numAtt)
+	}
+}
+
+// memoryBytes estimates the scratch footprint.
+func (gs *gammaScratch) memoryBytes() int64 {
+	return int64(len(gs.rhoVal))*8 + int64(len(gs.rhoIn)) + int64(cap(gs.rhoTouched))*4
+}
+
+// computeGammas runs Algorithm 4 for every attention node — serially, or
+// sharded across the query's workers (the invocations are independent:
+// each reads only the shared hitting vectors and writes one gamma field).
+func (sp *SimPush) computeGammas(ctx context.Context, qs *queryState) error {
+	k := qs.workers()
+	if k > len(qs.att) {
+		k = len(qs.att)
+	}
+	if k > 1 {
+		return sp.computeGammasParallel(ctx, qs, k)
+	}
+	sp.gamma.ensure(len(qs.att))
+	for i := range qs.att {
+		if i%gammaCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		qs.att[i].gamma = computeGamma(qs, int32(i), &sp.gamma)
+	}
+	return nil
+}
+
 // computeGamma is Algorithm 4: the last-meeting probability γ^(ℓ)(w) of
 // attention node w within G_u (Definition 4), via the first-meeting
 // recursion of Eqs. 9-11:
@@ -17,7 +66,7 @@ package core
 // both when used as sources and when summed into γ (they represent
 // probabilities), and γ itself is clamped to [0, 1]. The tests
 // cross-validate the resulting scores against exact SimRank.
-func (sp *SimPush) computeGamma(qs *queryState, attIdx int32) float64 {
+func computeGamma(qs *queryState, attIdx int32, gs *gammaScratch) float64 {
 	a := &qs.att[attIdx]
 	dl := qs.L - int(a.level)
 	if dl <= 0 || qs.vecs == nil {
@@ -33,46 +82,47 @@ func (sp *SimPush) computeGamma(qs *queryState, attIdx int32) float64 {
 		if qs.att[e.a].level == a.level {
 			continue // gap-0 self entry
 		}
-		sp.rhoVal[e.a] = e.v * e.v
-		sp.rhoIn[e.a] = true
-		sp.rhoTouched = append(sp.rhoTouched, e.a)
+		gs.rhoVal[e.a] = e.v * e.v
+		gs.rhoIn[e.a] = true
+		gs.rhoTouched = append(gs.rhoTouched, e.a)
 	}
 
-	// Forward sweep over intermediate levels ℓ+1 .. L-1.
+	// Forward sweep over intermediate levels ℓ+1 .. L-1. Note: read only
+	// the immutable fields of qs.att entries (level, slot) — never copy
+	// the struct, whose gamma field a concurrent worker may be writing.
 	for j := 1; j < dl; j++ {
 		lvl := a.level + int32(j)
-		for _, wj := range sp.rhoTouched {
-			aj := qs.att[wj]
-			if aj.level != lvl {
+		for _, wj := range gs.rhoTouched {
+			if qs.att[wj].level != lvl {
 				continue
 			}
-			r := sp.rhoVal[wj]
+			r := gs.rhoVal[wj]
 			if r <= 0 {
 				continue
 			}
-			for _, e := range qs.vecs[lvl][aj.slot] {
+			for _, e := range qs.vecs[lvl][qs.att[wj].slot] {
 				if qs.att[e.a].level == lvl {
 					continue // wⱼ's self entry
 				}
 				// Targets unreachable from w have exactly zero meeting
 				// probability; do not create spurious negative entries.
-				if !sp.rhoIn[e.a] {
+				if !gs.rhoIn[e.a] {
 					continue
 				}
-				sp.rhoVal[e.a] -= r * e.v * e.v
+				gs.rhoVal[e.a] -= r * e.v * e.v
 			}
 		}
 	}
 
 	gamma := 1.0
-	for _, idx := range sp.rhoTouched {
-		if v := sp.rhoVal[idx]; v > 0 {
+	for _, idx := range gs.rhoTouched {
+		if v := gs.rhoVal[idx]; v > 0 {
 			gamma -= v
 		}
-		sp.rhoVal[idx] = 0
-		sp.rhoIn[idx] = false
+		gs.rhoVal[idx] = 0
+		gs.rhoIn[idx] = false
 	}
-	sp.rhoTouched = sp.rhoTouched[:0]
+	gs.rhoTouched = gs.rhoTouched[:0]
 	if gamma < 0 {
 		return 0
 	}

@@ -62,7 +62,7 @@ func (sp *SimPush) computeHittingVecs(ctx context.Context, qs *queryState) error
 			if len(sp.attTouched) == 0 {
 				continue
 			}
-			scale := qs.p.sqrtC / float64(len(in))
+			scale := qs.p.sqrtC * sp.g.InvInDeg(v)
 			vec := make([]ventry, len(sp.attTouched))
 			for k, a := range sp.attTouched {
 				vec[k] = ventry{a: a, v: sp.attScratch[a] * scale}

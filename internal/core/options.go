@@ -58,6 +58,15 @@ type Options struct {
 	// MaxWalks optionally caps the level-detection sample size (0 = no cap).
 	// Intended for experiments; capping voids the δ guarantee.
 	MaxWalks int
+	// Parallelism is the intra-query worker count: level-detection walk
+	// sampling, the γ loop, and Reverse-Push level sweeps fan out across
+	// this many goroutines. 0 and 1 both run every stage serially (the
+	// default) and are interchangeable. Results are deterministic in
+	// (seed, Parallelism) — independent of GOMAXPROCS —
+	// but different worker counts produce slightly different (equally
+	// valid) estimates, because walk substreams and floating-point
+	// reduction order depend on the shard layout.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +92,9 @@ func (o Options) validate() error {
 	if o.Delta <= 0 || o.Delta >= 1 {
 		return fmt.Errorf("core: %w: delta must be in (0,1), got %v", ErrInvalidOptions, o.Delta)
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("core: %w: parallelism must be >= 0, got %d", ErrInvalidOptions, o.Parallelism)
+	}
 	return nil
 }
 
@@ -105,6 +117,10 @@ type QueryOpts struct {
 	// (0 removes the cap).
 	MaxWalks    int
 	HasMaxWalks bool
+	// Parallelism, when HasParallelism is set, replaces the engine's
+	// intra-query worker count for one query (0 or 1 = serial).
+	Parallelism    int
+	HasParallelism bool
 }
 
 // IsZero reports whether the overrides leave every engine setting intact.
@@ -125,6 +141,9 @@ func (o Options) merge(q QueryOpts) Options {
 	}
 	if q.HasMaxWalks {
 		o.MaxWalks = q.MaxWalks
+	}
+	if q.HasParallelism {
+		o.Parallelism = q.Parallelism
 	}
 	return o
 }

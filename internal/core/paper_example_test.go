@@ -43,7 +43,7 @@ const (
 
 func runExampleQueryState(t *testing.T, sp *SimPush) *queryState {
 	t.Helper()
-	qs := sp.newQueryState(nU)
+	qs := testQueryState(sp, nU)
 	sp.sourcePush(context.Background(), qs)
 	if qs.L != 3 {
 		t.Fatalf("detected L = %d, want 3", qs.L)
@@ -198,7 +198,7 @@ func TestPaperExampleGamma(t *testing.T) {
 	qs := runExampleQueryState(t, sp)
 	defer sp.resetSlots(qs)
 	sp.computeHittingVecs(context.Background(), qs)
-	sp.ensureGammaScratch(len(qs.att))
+	testGammas(t, sp, qs)
 
 	want := map[[2]int32]float64{
 		{3, nWh}: 1,
@@ -210,7 +210,7 @@ func TestPaperExampleGamma(t *testing.T) {
 	}
 	for i := range qs.att {
 		a := qs.att[i]
-		g := sp.computeGamma(qs, int32(i))
+		g := a.gamma
 		key := [2]int32{a.level, a.node}
 		w, ok := want[key]
 		if !ok {

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"github.com/simrank/simpush/internal/rnd"
+	"github.com/simrank/simpush/internal/walk"
+)
+
+// Intra-query parallelism. Three of Algorithm 1's hot paths are
+// embarrassingly parallel and fan out across Options.Parallelism workers:
+//
+//  1. level-detection √c-walk sampling — walks are independent; each
+//     worker samples a deterministic contiguous shard of n_w on its own
+//     seed-derived substream into a private LevelCounter, merged in
+//     O(touched) (integer sums, order-independent);
+//  2. the Algorithm 4 γ loop — attention nodes are independent; workers
+//     take contiguous shards of qs.att over the shared read-only hitting
+//     vectors with private ρ scratch;
+//  3. Reverse-Push — each level sweep partitions the current frontier,
+//     workers accumulate into private next-frontier arrays, and the
+//     shards are merged between levels in worker order, preserving the
+//     level-synchronous "combine the push" semantics.
+//
+// Determinism contract: for a fixed (seed, Parallelism) the result is
+// bit-identical across runs and across GOMAXPROCS values — shard
+// boundaries, substream seeds, and merge order depend only on the worker
+// count, never on scheduling. Different worker counts yield slightly
+// different (equally valid within ε) estimates, because the walk set and
+// the floating-point reduction order change with the shard layout.
+
+// minParallelFrontier is the smallest Reverse-Push frontier worth fanning
+// out; below it the per-level goroutine and merge overhead dominates. The
+// threshold depends only on deterministic state (frontier size), so it
+// never breaks the fixed-(seed, k) contract.
+const minParallelFrontier = 64
+
+// pworker owns one worker's scratch: a walker substream and level counter
+// for stage 1, ρ scratch for stage 2, and a residue accumulator with its
+// touched list for stage 3. Workers persist on the engine across queries,
+// so parallel queries allocate nothing steady-state.
+type pworker struct {
+	walker  *walk.Walker
+	counter *walk.LevelCounter
+	gamma   gammaScratch
+	acc     []float64
+	accT    []int32
+}
+
+// workers returns the effective intra-query worker count of this query.
+func (qs *queryState) workers() int {
+	if qs.opt.Parallelism > 1 {
+		return qs.opt.Parallelism
+	}
+	return 1
+}
+
+// ensureWorkers sizes the engine's worker set to k and binds every worker
+// to the current graph. Worker walkers are constructed with a placeholder
+// seed — every parallel stage reseeds them from the engine stream before
+// use — so creating a worker never perturbs the main walk stream.
+func (sp *SimPush) ensureWorkers(k int) []*pworker {
+	for len(sp.workers) < k {
+		sp.workers = append(sp.workers, &pworker{
+			walker:  walk.NewWalker(sp.g, sp.opt.C, rnd.New(0)),
+			counter: walk.NewLevelCounter(sp.g.N()),
+		})
+	}
+	ws := sp.workers[:k]
+	for _, w := range ws {
+		w.walker.Rebind(sp.g)
+		w.counter.Grow(sp.g.N())
+	}
+	return ws
+}
+
+// runWorkers runs fn(0..k-1) across k goroutines (the calling goroutine
+// takes shard 0) and waits for all of them.
+func runWorkers(k int, fn func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(k - 1)
+	for i := 1; i < k; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// shard returns the half-open index range [lo, hi) that worker w owns when
+// n items are split across k workers: contiguous, balanced within one, and
+// a pure function of (n, k, w) — the determinism contract hangs on that.
+func shard(n, k, w int) (lo, hi int) {
+	q, r := n/k, n%k
+	lo = w*q + min(w, r)
+	hi = lo + q
+	if w < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// firstError returns the first non-nil entry (worker errors are all
+// ctx.Err() values; "first" keeps the report deterministic).
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// detectMaxLevelParallel is the fan-out form of Algorithm 2 lines 1-8:
+// worker w samples its shard of the n_w walks on a substream seeded from
+// the engine's walk stream (k draws, so the derivation is deterministic
+// in (stream state, k)), counting into a private LevelCounter. Detection
+// then merges the shards lazily: a node can reach the merged count
+// threshold only if some shard holds ≥ ⌈threshold/k⌉ of it, so the scan
+// skips the long tail of low-count nodes with one compare each instead of
+// materializing a merged counter — keeping the serial fraction of the
+// stage small (Amdahl) without changing the detected L.
+func (sp *SimPush) detectMaxLevelParallel(ctx context.Context, qs *queryState, k int) (int, error) {
+	ws := sp.ensureWorkers(k)
+	counters := make([]*walk.LevelCounter, k)
+	for i, w := range ws {
+		w.walker.Reseed(sp.walker.DeriveSeed())
+		w.counter.Reset()
+		counters[i] = w.counter
+	}
+	errs := make([]error, k)
+	runWorkers(k, func(wi int) {
+		w := ws[wi]
+		lo, hi := shard(qs.p.nWalks, k, wi)
+		for i := lo; i < hi; i++ {
+			if (i-lo)%walkCtxBatch == 0 {
+				if err := ctx.Err(); err != nil {
+					errs[wi] = err
+					return
+				}
+			}
+			v := qs.u
+			for step := 1; step <= qs.p.lStar; step++ {
+				nv, ok := w.walker.Next(v)
+				if !ok {
+					break
+				}
+				v = nv
+				w.counter.Add(step, v)
+			}
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return 0, err
+	}
+	maxLv := 0
+	for _, c := range counters {
+		if m := c.MaxLevels(); m > maxLv {
+			maxLv = m
+		}
+	}
+	minShare := (qs.p.countThld + int32(k) - 1) / int32(k)
+	if minShare < 1 {
+		minShare = 1
+	}
+	L := 0
+	for l := 1; l < maxLv; l++ {
+		if walk.MaxMergedCountAt(counters, l, minShare) >= qs.p.countThld {
+			L = l
+		}
+	}
+	if L > qs.p.lStar {
+		L = qs.p.lStar
+	}
+	return L, nil
+}
+
+// computeGammasParallel shards the independent Algorithm 4 invocations
+// across k workers. Hitting vectors and attention metadata are read-only;
+// each worker writes only the gamma fields of its own shard with private
+// ρ scratch, so the computed values are identical to the serial loop.
+func (sp *SimPush) computeGammasParallel(ctx context.Context, qs *queryState, k int) error {
+	ws := sp.ensureWorkers(k)
+	errs := make([]error, k)
+	runWorkers(k, func(wi int) {
+		gs := &ws[wi].gamma
+		gs.ensure(len(qs.att))
+		lo, hi := shard(len(qs.att), k, wi)
+		for i := lo; i < hi; i++ {
+			if (i-lo)%gammaCtxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					errs[wi] = err
+					return
+				}
+			}
+			qs.att[i].gamma = computeGamma(qs, int32(i), gs)
+		}
+	})
+	return firstError(errs)
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/simrank/simpush/internal/gen"
+	"github.com/simrank/simpush/internal/graph"
+)
+
+func parallelTestGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.CopyingModel(3000, 8, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func queryScores(t *testing.T, g *graph.Graph, opt Options, u int32) *Result {
+	t.Helper()
+	sp := mustEngine(t, g, opt)
+	res, err := sp.Query(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Fixed (seed, k) must give bit-identical scores across runs: the shard
+// layout, worker substreams and merge order are functions of k alone.
+func TestParallelDeterministicAcrossRuns(t *testing.T) {
+	g := parallelTestGraph(t)
+	for _, k := range []int{2, 3, 8} {
+		opt := Options{Epsilon: 0.05, Seed: 7, Parallelism: k}
+		a := queryScores(t, g, opt, 17)
+		b := queryScores(t, g, opt, 17)
+		for v := range a.Scores {
+			if a.Scores[v] != b.Scores[v] {
+				t.Fatalf("k=%d: run-to-run mismatch at v=%d: %v vs %v", k, v, a.Scores[v], b.Scores[v])
+			}
+		}
+		if a.L != b.L || a.Walks != b.Walks {
+			t.Fatalf("k=%d: metadata mismatch: L %d vs %d, walks %d vs %d", k, a.L, b.L, a.Walks, b.Walks)
+		}
+	}
+}
+
+// Fixed (seed, k) must give bit-identical scores regardless of GOMAXPROCS:
+// scheduling may interleave workers arbitrarily, but nothing in the result
+// may depend on it.
+func TestParallelDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	g := parallelTestGraph(t)
+	opt := Options{Epsilon: 0.05, Seed: 11, Parallelism: 4}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var ref *Result
+	for _, procs := range []int{1, 2, prev} {
+		runtime.GOMAXPROCS(procs)
+		res := queryScores(t, g, opt, 5)
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.L != ref.L {
+			t.Fatalf("GOMAXPROCS=%d changed detected L: %d vs %d", procs, res.L, ref.L)
+		}
+		for v := range ref.Scores {
+			if res.Scores[v] != ref.Scores[v] {
+				t.Fatalf("GOMAXPROCS=%d changed score at v=%d: %v vs %v", procs, v, res.Scores[v], ref.Scores[v])
+			}
+		}
+	}
+}
+
+// A per-query WithParallelism-style override must behave exactly like the
+// engine-level option and leave later serial queries on the engine
+// unchanged relative to a serial-only engine that ran the same seeded
+// queries (the seeded scope restores the walk stream).
+func TestParallelQueryOverride(t *testing.T) {
+	g := parallelTestGraph(t)
+	engOpt := Options{Epsilon: 0.05, Seed: 3}
+
+	viaEngine := queryScores(t, g, Options{Epsilon: 0.05, Seed: 3, Parallelism: 4}, 9)
+
+	sp := mustEngine(t, g, engOpt)
+	viaOverride, err := sp.QueryCtx(context.Background(), 9,
+		QueryOpts{Seed: 3, HasSeed: true, Parallelism: 4, HasParallelism: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range viaEngine.Scores {
+		if viaEngine.Scores[v] != viaOverride.Scores[v] {
+			t.Fatalf("override differs from engine option at v=%d: %v vs %v",
+				v, viaEngine.Scores[v], viaOverride.Scores[v])
+		}
+	}
+}
+
+func TestParallelismValidation(t *testing.T) {
+	g := gen.Cycle(3)
+	if _, err := New(g, Options{Parallelism: -1}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("negative parallelism accepted: %v", err)
+	}
+	sp := mustEngine(t, g, Options{})
+	if _, err := sp.QueryCtx(context.Background(), 0, QueryOpts{Parallelism: -2, HasParallelism: true}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("negative per-query parallelism accepted: %v", err)
+	}
+}
+
+// Parallel queries observe cancellation inside the stages, and an
+// interrupted parallel query leaves the engine reusable.
+func TestParallelCancellation(t *testing.T) {
+	g := parallelTestGraph(t)
+	sp := mustEngine(t, g, Options{Epsilon: 0.01, Seed: 1, Parallelism: 4})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	cancel()
+	if _, err := sp.QueryCtx(ctx, 3, QueryOpts{}); !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected context error, got %v", err)
+	}
+	// The engine must still answer correctly after the abort.
+	res, err := sp.Query(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[3] != 1 {
+		t.Fatalf("post-abort self score %v", res.Scores[3])
+	}
+}
+
+// Property: parallel scores match serial scores within the theoretical
+// budget on arbitrary random graphs — both are ε-approximations of the
+// same exact SimRank (Theorem 1), so they can differ by at most 2ε (the
+// walk substreams and reduction order differ, the guarantee does not).
+func TestQuickParallelMatchesSerial(t *testing.T) {
+	f := func(token uint32, queryTok uint32) bool {
+		g := randomGraph(token)
+		u := int32(queryTok % uint32(g.N()))
+		const eps = 0.05
+		serial, err := New(g, Options{Epsilon: eps, Seed: uint64(token)})
+		if err != nil {
+			return false
+		}
+		par, err := New(g, Options{Epsilon: eps, Seed: uint64(token), Parallelism: 3})
+		if err != nil {
+			return false
+		}
+		a, err := serial.Query(u)
+		if err != nil {
+			return false
+		}
+		b, err := par.Query(u)
+		if err != nil {
+			return false
+		}
+		for v := range a.Scores {
+			if math.Abs(a.Scores[v]-b.Scores[v]) > 2*eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Parallel queries are pure: interleaving a different parallel query on
+// the same engine leaves a repeated seeded query bit-identical (worker
+// scratch is fully reset between queries).
+func TestParallelQueryIdempotent(t *testing.T) {
+	g := parallelTestGraph(t)
+	sp := mustEngine(t, g, Options{Epsilon: 0.05, Seed: 5, Parallelism: 4})
+	seeded := QueryOpts{Seed: 99, HasSeed: true}
+	a, err := sp.QueryCtx(context.Background(), 7, seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Query(123); err != nil { // dirty the scratch
+		t.Fatal(err)
+	}
+	b, err := sp.QueryCtx(context.Background(), 7, seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Scores {
+		if a.Scores[v] != b.Scores[v] {
+			t.Fatalf("seeded parallel query not idempotent at v=%d: %v vs %v", v, a.Scores[v], b.Scores[v])
+		}
+	}
+}

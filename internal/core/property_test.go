@@ -86,7 +86,7 @@ func TestQuickLevelMassBound(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		qs := eng.newQueryState(int32(token % uint32(g.N())))
+		qs := testQueryState(eng, int32(token%uint32(g.N())))
 		eng.sourcePush(context.Background(), qs)
 		defer eng.resetSlots(qs)
 		sqrtC := math.Sqrt(eng.opt.C)

@@ -39,14 +39,16 @@ type SimPush struct {
 	attScratch []float64
 	attTouched []int32
 
-	// Algorithm 4 scratch: ρ values over attention indices.
-	rhoVal     []float64
-	rhoIn      []bool
-	rhoTouched []int32
+	// Algorithm 4 scratch: ρ values over attention indices (serial path).
+	gamma gammaScratch
 
 	// Algorithm 5 scratch: residues for the current and next level.
 	rCur, rNxt             []float64
 	curTouched, nxtTouched []int32
+
+	// workers carries the per-goroutine scratch of intra-query parallelism
+	// (see parallel.go); grown lazily to the largest Parallelism queried.
+	workers []*pworker
 }
 
 // ventry is one sparse-vector entry: hitting probability from the holding
@@ -191,7 +193,8 @@ func (sp *SimPush) Graph() *graph.Graph {
 }
 
 // MemoryBytes estimates the engine's persistent scratch footprint (the
-// graph itself is excluded; there is no index).
+// graph itself is excluded; there is no index). Worker scratch counts:
+// intra-query parallelism trades O(k·n) memory for latency.
 func (sp *SimPush) MemoryBytes() int64 {
 	var b int64
 	b += int64(len(sp.hScratch)) * 8
@@ -199,7 +202,11 @@ func (sp *SimPush) MemoryBytes() int64 {
 		b += int64(len(s)) * 4
 	}
 	b += int64(len(sp.rCur)+len(sp.rNxt)) * 8
-	b += int64(len(sp.attScratch)+len(sp.rhoVal)) * 8
+	b += int64(len(sp.attScratch)) * 8
+	b += sp.gamma.memoryBytes()
+	for _, w := range sp.workers {
+		b += int64(len(w.acc))*8 + int64(cap(w.accT))*4 + w.gamma.memoryBytes()
+	}
 	return b
 }
 
@@ -262,15 +269,9 @@ func (sp *SimPush) QueryCtx(ctx context.Context, u int32, qo QueryOpts) (*Result
 			sp.resetSlots(qs)
 			return nil, err
 		}
-		sp.ensureGammaScratch(len(qs.att))
-		for i := range qs.att {
-			if i%gammaCtxStride == 0 {
-				if err := ctx.Err(); err != nil {
-					sp.resetSlots(qs)
-					return nil, err
-				}
-			}
-			qs.att[i].gamma = sp.computeGamma(qs, int32(i)) // Algorithm 4
+		if err := sp.computeGammas(ctx, qs); err != nil { // Algorithm 4
+			sp.resetSlots(qs)
+			return nil, err
 		}
 	}
 	t2 := time.Now()
@@ -302,21 +303,6 @@ func (sp *SimPush) QueryCtx(ctx context.Context, u int32, qo QueryOpts) (*Result
 
 	sp.resetSlots(qs)
 	return res, nil
-}
-
-// newQueryState returns a query state carrying the engine's effective
-// options and derived parameters, with no per-query overrides.
-func (sp *SimPush) newQueryState(u int32) *queryState {
-	return &queryState{u: u, opt: sp.opt, p: sp.p}
-}
-
-// ensureGammaScratch sizes the Algorithm 4 scratch to the number of
-// attention nodes (bounded by Lemma 2, but sized to the actual count).
-func (sp *SimPush) ensureGammaScratch(numAtt int) {
-	if len(sp.rhoVal) < numAtt {
-		sp.rhoVal = make([]float64, numAtt)
-		sp.rhoIn = make([]bool, numAtt)
-	}
 }
 
 // resetSlots restores the -1 sentinel for every slot the query touched.

@@ -21,6 +21,21 @@ func mustEngine(t testing.TB, g *graph.Graph, opt Options) *SimPush {
 	return sp
 }
 
+// testQueryState builds a query state with the engine's effective options,
+// for tests and benchmarks that drive the unexported stages directly.
+func testQueryState(sp *SimPush, u int32) *queryState {
+	return &queryState{u: u, opt: sp.opt, p: sp.p}
+}
+
+// testGammas runs Algorithm 4 over all attention nodes of qs, the way
+// QueryCtx does between Algorithms 3 and 5.
+func testGammas(t testing.TB, sp *SimPush, qs *queryState) {
+	t.Helper()
+	if err := sp.computeGammas(context.Background(), qs); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestInvalidOptions(t *testing.T) {
 	g := gen.Cycle(3)
 	bad := []Options{
@@ -364,7 +379,7 @@ func TestAttentionBounds(t *testing.T) {
 func TestHittingProbabilityConservation(t *testing.T) {
 	g := gen.Complete(30)
 	sp := mustEngine(t, g, Options{Epsilon: 0.02, Seed: 8})
-	qs := sp.newQueryState(3)
+	qs := testQueryState(sp, 3)
 	sp.sourcePush(context.Background(), qs)
 	defer sp.resetSlots(qs)
 	sqrtC := math.Sqrt(testC)

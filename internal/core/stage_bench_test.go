@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/simrank/simpush/internal/gen"
@@ -10,7 +12,9 @@ import (
 
 // Per-stage benchmarks: the complexity table (paper Table 3) splits
 // SimPush into Source-Push, γ computation, and Reverse-Push. These
-// benchmarks measure each stage on a mid-size web graph.
+// benchmarks measure each stage on a mid-size web graph, serial vs
+// parallel (Options.Parallelism = NumCPU); scripts/bench.sh turns the
+// ratio into the BENCH_PR5.json perf trajectory.
 
 func stageGraph(b *testing.B) *graph.Graph {
 	b.Helper()
@@ -21,54 +25,93 @@ func stageGraph(b *testing.B) *graph.Graph {
 	return g
 }
 
+// benchWidths returns the serial baseline plus the machine's full width
+// (deduplicated on single-core machines).
+func benchWidths() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
 func BenchmarkStageSourcePush(b *testing.B) {
 	g := stageGraph(b)
-	sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		qs := sp.newQueryState(int32(i) % g.N())
-		sp.sourcePush(context.Background(), qs)
-		sp.resetSlots(qs)
+	for _, k := range benchWidths() {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1, Parallelism: k})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qs := testQueryState(sp, int32(i)%g.N())
+				sp.sourcePush(context.Background(), qs)
+				sp.resetSlots(qs)
+			}
+		})
 	}
 }
 
 func BenchmarkStageGamma(b *testing.B) {
 	g := stageGraph(b)
-	sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		qs := sp.newQueryState(int32(i) % g.N())
-		sp.sourcePush(context.Background(), qs)
-		sp.computeHittingVecs(context.Background(), qs)
-		sp.ensureGammaScratch(len(qs.att))
-		for j := range qs.att {
-			qs.att[j].gamma = sp.computeGamma(qs, int32(j))
-		}
-		sp.resetSlots(qs)
+	for _, k := range benchWidths() {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1, Parallelism: k})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qs := testQueryState(sp, int32(i)%g.N())
+				sp.sourcePush(context.Background(), qs)
+				sp.computeHittingVecs(context.Background(), qs)
+				sp.computeGammas(context.Background(), qs)
+				sp.resetSlots(qs)
+			}
+		})
 	}
 }
 
 func BenchmarkStageReversePush(b *testing.B) {
 	g := stageGraph(b)
-	sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1})
-	// Prepare one query state outside the timed loop.
-	qs := sp.newQueryState(123)
-	sp.sourcePush(context.Background(), qs)
-	sp.computeHittingVecs(context.Background(), qs)
-	sp.ensureGammaScratch(len(qs.att))
-	for j := range qs.att {
-		qs.att[j].gamma = sp.computeGamma(qs, int32(j))
+	for _, k := range benchWidths() {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1, Parallelism: k})
+			// Prepare one query state outside the timed loop.
+			qs := testQueryState(sp, 123)
+			sp.sourcePush(context.Background(), qs)
+			sp.computeHittingVecs(context.Background(), qs)
+			sp.computeGammas(context.Background(), qs)
+			scores := make([]float64, g.N())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for v := range scores {
+					scores[v] = 0
+				}
+				sp.reversePush(context.Background(), qs, scores)
+			}
+			b.StopTimer()
+			sp.resetSlots(qs)
+		})
 	}
-	scores := make([]float64, g.N())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for v := range scores {
-			scores[v] = 0
+}
+
+// BenchmarkQueryParallelism is the end-to-end serial-vs-parallel
+// comparison behind the PR 5 acceptance criterion: one full single-source
+// query at k=1 vs k=NumCPU on the synthetic benchmark graph.
+func BenchmarkQueryParallelism(b *testing.B) {
+	g := stageGraph(b)
+	widths := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, k := range widths {
+		if k < 1 || seen[k] {
+			continue
 		}
-		sp.reversePush(context.Background(), qs, scores)
+		seen[k] = true
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			sp := mustEngine(b, g, Options{Epsilon: 0.02, Seed: 1, Parallelism: k})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sp.Query(int32(i) % g.N()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	b.StopTimer()
-	sp.resetSlots(qs)
 }
 
 func BenchmarkLevelDetection(b *testing.B) {
@@ -84,7 +127,7 @@ func BenchmarkLevelDetection(b *testing.B) {
 			sp := mustEngine(b, g, Options{Epsilon: 0.05, Seed: 1, LevelDetect: mode.m, MaxWalks: 3_000_000})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sp.detectMaxLevel(context.Background(), sp.newQueryState(int32(i)%g.N()))
+				sp.detectMaxLevel(context.Background(), testQueryState(sp, int32(i)%g.N()))
 			}
 		})
 	}

@@ -163,6 +163,7 @@ func fromEdges(n int32, froms, tos []int32) (*Graph, error) {
 		g.inAdj[g.inOff[t]+inCursor[t]] = f
 		inCursor[t]++
 	}
+	g.buildInvInDeg()
 	return g, nil
 }
 

@@ -28,6 +28,11 @@ type Graph struct {
 	// CSR over in-edges: inAdj[inOff[v]:inOff[v+1]] lists v's in-neighbors.
 	inOff []int64
 	inAdj []int32
+
+	// invInDeg[v] = 1/d_I(v), or 0 for nodes with no in-edges. Both push
+	// stages divide by the in-degree once per edge; precomputing the
+	// reciprocal turns those divisions into multiplications.
+	invInDeg []float64
 }
 
 // N returns the number of nodes.
@@ -60,6 +65,29 @@ func (g *Graph) In(v int32) []int32 {
 	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
 }
 
+// InvInDeg returns 1/d_I(v), or 0 when v has no in-edges.
+func (g *Graph) InvInDeg(v int32) float64 {
+	return g.invInDeg[v]
+}
+
+// InvInDegs returns the full reciprocal in-degree table as a shared slice
+// (entry v is 1/d_I(v), 0 for dangling-in nodes). Callers must not modify
+// it; it exists so per-edge inner loops can hoist the bounds check.
+func (g *Graph) InvInDegs() []float64 {
+	return g.invInDeg
+}
+
+// buildInvInDeg fills the reciprocal in-degree table from the in-CSR.
+// Every constructor must call it once the offsets are final.
+func (g *Graph) buildInvInDeg() {
+	g.invInDeg = make([]float64, g.n)
+	for v := int32(0); v < g.n; v++ {
+		if d := g.inOff[v+1] - g.inOff[v]; d > 0 {
+			g.invInDeg[v] = 1 / float64(d)
+		}
+	}
+}
+
 // GraphSnapshot returns the graph itself at epoch 0, implementing the
 // root package's GraphSource interface: an immutable Graph is a source
 // that never changes, so every snapshot is the same committed state.
@@ -72,10 +100,12 @@ func (g *Graph) HasNode(v int32) bool {
 	return v >= 0 && v < g.n
 }
 
-// MemoryBytes returns the in-memory footprint of the CSR arrays.
+// MemoryBytes returns the in-memory footprint of the CSR arrays and the
+// reciprocal in-degree table.
 func (g *Graph) MemoryBytes() int64 {
 	return int64(len(g.outOff))*8 + int64(len(g.inOff))*8 +
-		int64(len(g.outAdj))*4 + int64(len(g.inAdj))*4
+		int64(len(g.outAdj))*4 + int64(len(g.inAdj))*4 +
+		int64(len(g.invInDeg))*8
 }
 
 // String summarizes the graph for diagnostics.
@@ -83,17 +113,19 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d}", g.n, g.M())
 }
 
-// Transpose returns a new Graph with every edge reversed. The operation is
-// O(1): it reuses the existing CSR arrays with the roles of the in- and
-// out-directions swapped.
+// Transpose returns a new Graph with every edge reversed. The CSR arrays
+// are reused with the roles of the in- and out-directions swapped; only
+// the O(n) reciprocal in-degree table is rebuilt.
 func (g *Graph) Transpose() *Graph {
-	return &Graph{
+	t := &Graph{
 		n:      g.n,
 		outOff: g.inOff,
 		outAdj: g.inAdj,
 		inOff:  g.outOff,
 		inAdj:  g.outAdj,
 	}
+	t.buildInvInDeg()
+	return t
 }
 
 // Edges invokes fn for every directed edge (from, to). Iteration is in

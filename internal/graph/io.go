@@ -195,6 +195,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			}
 		}
 	}
+	g.buildInvInDeg()
 	return g, nil
 }
 

@@ -71,14 +71,15 @@ func writeMethodNotAllowed(w http.ResponseWriter, allow ...string) {
 // canonical encoding doubles as the cache-key params component, so two
 // requests spelled differently ("eps=0.05" vs "eps=5e-2") share an entry.
 type queryParams struct {
-	eps, delta float64
-	seed       uint64
-	hasSeed    bool
-	maxWalks   int
-	hasWalks   bool
+	eps, delta  float64
+	seed        uint64
+	hasSeed     bool
+	maxWalks    int
+	hasWalks    bool
+	parallelism int
 }
 
-func parseQueryParams(r *http.Request) (queryParams, *httpError) {
+func (s *Server) parseQueryParams(r *http.Request) (queryParams, *httpError) {
 	var p queryParams
 	q := r.URL.Query()
 	if v := q.Get("eps"); v != "" {
@@ -109,6 +110,25 @@ func parseQueryParams(r *http.Request) (queryParams, *httpError) {
 		}
 		p.maxWalks, p.hasWalks = n, true
 	}
+	if v := q.Get("parallelism"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return p, httpErrf(http.StatusBadRequest, "bad_parameter", "parallelism: %v", err)
+		}
+		if n < 0 {
+			return p, httpErrf(http.StatusBadRequest, "bad_parameter", "parallelism must be >= 0")
+		}
+		// Clamp to the server-side cap (like ?timeout against MaxTimeout);
+		// the clamped value is what forms the cache key, since the worker
+		// count is part of the result's determinism contract.
+		if n > s.cfg.MaxParallelism {
+			n = s.cfg.MaxParallelism
+		}
+		if n == 1 {
+			n = 0 // k=1 is the serial default; share its cache entries
+		}
+		p.parallelism = n
+	}
 	return p, nil
 }
 
@@ -126,6 +146,9 @@ func (p queryParams) options() []simpush.QueryOption {
 	if p.hasWalks {
 		opts = append(opts, simpush.WithMaxWalks(p.maxWalks))
 	}
+	if p.parallelism > 1 {
+		opts = append(opts, simpush.WithParallelism(p.parallelism))
+	}
 	return opts
 }
 
@@ -137,6 +160,11 @@ func (p queryParams) canonical() string {
 	}
 	if p.hasWalks {
 		fmt.Fprintf(&b, ";walks=%d", p.maxWalks)
+	}
+	if p.parallelism > 1 {
+		// Part of the key: different worker counts give bitwise-different
+		// (equally valid) results, which must not share an entry.
+		fmt.Fprintf(&b, ";par=%d", p.parallelism)
 	}
 	return b.String()
 }
@@ -245,7 +273,7 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, herr)
 		return
 	}
-	qp, herr := parseQueryParams(r)
+	qp, herr := s.parseQueryParams(r)
 	if herr != nil {
 		s.writeError(w, herr)
 		return
@@ -312,7 +340,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	qp, herr := parseQueryParams(r)
+	qp, herr := s.parseQueryParams(r)
 	if herr != nil {
 		s.writeError(w, herr)
 		return
@@ -364,7 +392,7 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, herr)
 		return
 	}
-	qp, herr := parseQueryParams(r)
+	qp, herr := s.parseQueryParams(r)
 	if herr != nil {
 		s.writeError(w, herr)
 		return

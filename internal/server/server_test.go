@@ -608,3 +608,36 @@ func TestDeleteEdgeRejectsImpossibleIds(t *testing.T) {
 		t.Fatalf("query after rejected delete = %d %s", rec.Code, rec.Body.String())
 	}
 }
+
+// The parallelism parameter is validated, clamped to the server cap, and
+// participates in the cache key (distinct worker counts give distinct,
+// equally valid results; k=1 shares the serial default's entries).
+func TestParallelismParameter(t *testing.T) {
+	s := newStaticServer(t, Config{MaxParallelism: 2})
+
+	if rec := doReq(s, "GET", "/v1/single-source?node=3&parallelism=bad", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad parallelism -> %d", rec.Code)
+	}
+	if rec := doReq(s, "GET", "/v1/single-source?node=3&parallelism=-1", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative parallelism -> %d", rec.Code)
+	}
+
+	serial := decodeBody(t, doReq(s, "GET", "/v1/single-source?node=3&seed=5", ""))
+	if serial["cache"] != "computed" {
+		t.Fatalf("serial query cache = %v", serial["cache"])
+	}
+	// parallelism=1 is the serial path and shares its cache entries.
+	if m := decodeBody(t, doReq(s, "GET", "/v1/single-source?node=3&seed=5&parallelism=1", "")); m["cache"] != "hit" {
+		t.Fatalf("parallelism=1 cache = %v, want hit", m["cache"])
+	}
+	// parallelism=2 is a distinct entry...
+	par := decodeBody(t, doReq(s, "GET", "/v1/single-source?node=3&seed=5&parallelism=2", ""))
+	if par["cache"] != "computed" {
+		t.Fatalf("parallelism=2 cache = %v, want computed", par["cache"])
+	}
+	// ...and values above the cap clamp onto it.
+	clamped := decodeBody(t, doReq(s, "GET", "/v1/single-source?node=3&seed=5&parallelism=64", ""))
+	if clamped["cache"] != "hit" {
+		t.Fatalf("clamped parallelism cache = %v, want hit", clamped["cache"])
+	}
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# scripts/bench.sh [--short] — PR 5 perf trajectory.
+#
+# Runs the per-stage (Source-Push, γ, Reverse-Push) and end-to-end query
+# benchmarks serial vs parallel (k=1 vs k=NumCPU; see
+# internal/core/stage_bench_test.go) and emits BENCH_PR5.json with ns/op
+# per benchmark plus the serial/parallel speedup per stage. --short runs
+# one iteration per benchmark — the cheap CI mode that keeps the
+# trajectory file fresh on every push; the default runs benchtime=5x for
+# steadier numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME=5x
+[ "${1:-}" = "--short" ] && BENCHTIME=1x
+OUT=BENCH_PR5.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkQueryParallelism|BenchmarkStage(SourcePush|Gamma|ReversePush)' \
+  -benchtime "$BENCHTIME" ./internal/core | tee "$RAW" >&2
+
+CORES=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
+
+awk -v cores="$CORES" -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+  sub(/^Benchmark/, "", name)
+  ns[name] = $3
+  order[n++] = name
+}
+END {
+  printf "{\n"
+  printf "  \"pr\": 5,\n"
+  printf "  \"description\": \"intra-query parallelism: serial vs parallel ns/op\",\n"
+  printf "  \"cores\": %d,\n", cores
+  printf "  \"benchtime\": \"%s\",\n", benchtime
+  printf "  \"benchmarks_ns_op\": {\n"
+  for (i = 0; i < n; i++)
+    printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "")
+  printf "  },\n"
+  printf "  \"speedup\": {\n"
+  m = split("QueryParallelism StageSourcePush StageGamma StageReversePush", fams, " ")
+  lbl["QueryParallelism"] = "end_to_end"
+  lbl["StageSourcePush"] = "source_push"
+  lbl["StageGamma"] = "gamma"
+  lbl["StageReversePush"] = "reverse_push"
+  for (f = 1; f <= m; f++) {
+    fam = fams[f]
+    serial = ns[fam "/k=1"]
+    best = ""; bestk = 0
+    for (i = 0; i < n; i++) {
+      name = order[i]
+      if (index(name, fam "/k=") == 1) {
+        k = substr(name, length(fam) + 4) + 0
+        if (k > bestk) { bestk = k; best = ns[name] }
+      }
+    }
+    if (serial != "" && best != "" && bestk > 1 && best + 0 > 0)
+      printf "    \"%s\": {\"k\": %d, \"x\": %.2f}%s\n", lbl[fam], bestk, serial / best, (f < m ? "," : "")
+    else
+      printf "    \"%s\": {\"k\": 1, \"x\": 1.0}%s\n", lbl[fam], (f < m ? "," : "")
+  }
+  printf "  }\n"
+  printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
+cat "$OUT"
