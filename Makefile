@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-json serve smoke
+.PHONY: all build test race vet fmt check bench bench-json serve smoke cluster-smoke cluster-bench
 
 all: check
 
@@ -39,3 +39,14 @@ serve:
 # End-to-end smoke test of the daemon (build, start, curl, shutdown).
 smoke:
 	./scripts/simrankd_smoke.sh
+
+# End-to-end smoke test of the replicated cluster: leader + 2 followers
+# behind simproxy — mutation streaming, bit-identical convergence,
+# follower failover.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
+# Cache-affinity routing benchmark (hash vs round-robin aggregate hit
+# rate across 3 replicas) → BENCH_PR6.json.
+cluster-bench:
+	./scripts/cluster_bench.sh

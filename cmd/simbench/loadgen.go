@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/simrank/simpush/internal/cluster"
 	"github.com/simrank/simpush/internal/server"
 )
 
@@ -37,18 +38,32 @@ type loadSample struct {
 	err     error
 }
 
-// fetchStats decodes /statsz.
-func fetchStats(client *http.Client, base string) (server.StatsSnapshot, error) {
+// fetchStats decodes /statsz. The target may be a single simrankd or a
+// simproxy — the proxy mirrors the daemon's top-level field names, and
+// its extra per-replica breakdown comes back in the second return (nil
+// against a plain daemon).
+func fetchStats(client *http.Client, base string) (server.StatsSnapshot, *cluster.StatsSnapshot, error) {
 	var snap server.StatsSnapshot
 	resp, err := client.Get(base + "/statsz")
 	if err != nil {
-		return snap, err
+		return snap, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return snap, fmt.Errorf("statsz: status %d", resp.StatusCode)
+		return snap, nil, fmt.Errorf("statsz: status %d", resp.StatusCode)
 	}
-	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return snap, nil, err
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return snap, nil, err
+	}
+	var proxy cluster.StatsSnapshot
+	if json.Unmarshal(raw, &proxy) == nil && proxy.Proxy {
+		return snap, &proxy, nil
+	}
+	return snap, nil, nil
 }
 
 // queryURL builds one request against the daemon. Hot queries are seeded
@@ -108,7 +123,7 @@ func runHTTPLoad(w io.Writer, opt loadOptions) error {
 	}
 	client := &http.Client{Timeout: opt.timeout}
 
-	before, err := fetchStats(client, opt.base)
+	before, proxyBefore, err := fetchStats(client, opt.base)
 	if err != nil {
 		return fmt.Errorf("reaching daemon: %w", err)
 	}
@@ -149,11 +164,48 @@ func runHTTPLoad(w io.Writer, opt loadOptions) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, err := fetchStats(client, opt.base)
+	after, proxyAfter, err := fetchStats(client, opt.base)
 	if err != nil {
 		return fmt.Errorf("reading final stats: %w", err)
 	}
-	return writeLoadReport(w, opt, elapsed, samples, before, after)
+	if err := writeLoadReport(w, opt, elapsed, samples, before, after); err != nil {
+		return err
+	}
+	writeReplicaReport(w, proxyBefore, proxyAfter)
+	return nil
+}
+
+// writeReplicaReport appends the per-replica request share and cache hit
+// rate over the measurement window when the target is a simproxy.
+func writeReplicaReport(w io.Writer, before, after *cluster.StatsSnapshot) {
+	if before == nil || after == nil {
+		return
+	}
+	prev := make(map[string]cluster.ReplicaStats, len(before.Replicas))
+	for _, r := range before.Replicas {
+		prev[r.Name] = r
+	}
+	var totalProxied uint64
+	for _, r := range after.Replicas {
+		totalProxied += r.Proxied - prev[r.Name].Proxied
+	}
+	for _, r := range after.Replicas {
+		b := prev[r.Name]
+		proxied := r.Proxied - b.Proxied
+		share := 0.0
+		if totalProxied > 0 {
+			share = float64(proxied) / float64(totalProxied)
+		}
+		hits := r.Cache.Hits - b.Cache.Hits
+		misses := r.Cache.Misses - b.Cache.Misses
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintf(w, "replica_requests[%s]\t%d\n", r.Name, proxied)
+		fmt.Fprintf(w, "replica_share[%s]\t%.3f\n", r.Name, share)
+		fmt.Fprintf(w, "replica_hit_rate[%s]\t%.3f\n", r.Name, hitRate)
+	}
 }
 
 func writeLoadReport(w io.Writer, opt loadOptions, elapsed time.Duration, samples [][]loadSample, before, after server.StatsSnapshot) error {

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/simrank/simpush"
+	"github.com/simrank/simpush/internal/cluster"
 	"github.com/simrank/simpush/internal/server"
 )
 
@@ -63,5 +65,62 @@ func TestRunHTTPLoadValidatesEndpoint(t *testing.T) {
 	var out strings.Builder
 	if err := runHTTPLoad(&out, loadOptions{base: "http://127.0.0.1:1", endpoint: "bogus"}); err == nil {
 		t.Fatal("bogus endpoint accepted")
+	}
+}
+
+// TestHTTPLoadThroughProxyReportsReplicaShare points the load generator
+// at a simproxy over two standalone replicas and expects the report to
+// gain per-replica request-share and hit-rate lines.
+func TestHTTPLoadThroughProxyReportsReplicaShare(t *testing.T) {
+	newReplica := func() *httptest.Server {
+		g, err := simpush.SyntheticWebGraph(400, 5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := simpush.NewClient(g, simpush.Options{Epsilon: 0.05, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { client.Close() })
+		srv, err := server.New(server.Config{Client: client})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	r1, r2 := newReplica(), newReplica()
+	set, err := cluster.NewSet(cluster.SetConfig{Replicas: []string{r1.URL, r2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.ProbeOnce(context.Background())
+	proxy, err := cluster.New(cluster.Config{Set: set, Policy: "hash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(proxy.Handler())
+	defer pts.Close()
+
+	var out strings.Builder
+	err = runHTTPLoad(&out, loadOptions{
+		base:        pts.URL,
+		duration:    300 * time.Millisecond,
+		concurrency: 4,
+		endpoint:    "single-source",
+		hot:         8,
+		hotFrac:     1.0,
+		timeout:     10 * time.Second,
+		seed:        99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"replica_share[", "replica_hit_rate[", "replica_requests["} {
+		if strings.Count(report, want) != 2 {
+			t.Fatalf("report should carry %q once per replica:\n%s", want, report)
+		}
 	}
 }

@@ -1,0 +1,139 @@
+// Command simproxy fronts a replicated simrankd cluster with one
+// serving surface. It routes read queries across the replicas by a
+// pluggable policy, sends mutations only to the leader, and fails over
+// away from draining, lagging or unreachable replicas (see
+// docs/cluster.md).
+//
+// Policies (-policy):
+//
+//	hash          consistent-hash on the query node (default). Every
+//	              query for node u lands on the same replica, so each
+//	              replica's epoch-keyed result cache concentrates on its
+//	              own slice of the hot set — aggregate hit rate grows
+//	              with the replica count.
+//	least-loaded  pick the replica with the fewest in-flight requests.
+//	round-robin   cycle through the routable replicas.
+//
+// Endpoints: the full simrankd query surface (/v1/single-source,
+// /v1/topk, /v1/pair, /v1/batch, /v1/edges) plus the proxy's own
+// /healthz (503 only when no replica is routable) and /statsz
+// (aggregate counters + a per-replica breakdown).
+//
+// Example (leader on :8081, followers on :8082/:8083):
+//
+//	simproxy -addr :8080 -replicas 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/simrank/simpush/internal/cluster"
+)
+
+type proxyConfig struct {
+	addr          string
+	replicas      string
+	policy        string
+	maxLag        int64
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	timeout       time.Duration
+	grace         time.Duration
+}
+
+func main() {
+	var cfg proxyConfig
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.replicas, "replicas", "", "comma-separated simrankd base URLs (required)")
+	flag.StringVar(&cfg.policy, "policy", "hash", "read routing policy: hash (cache affinity), least-loaded, round-robin")
+	flag.Int64Var(&cfg.maxLag, "max-lag", 16, "epochs a follower may trail the leader before reads fail over away from it")
+	flag.DurationVar(&cfg.probeInterval, "probe-interval", time.Second, "replica health probe cadence")
+	flag.DurationVar(&cfg.probeTimeout, "probe-timeout", 2*time.Second, "per-probe deadline")
+	flag.DurationVar(&cfg.timeout, "timeout", 90*time.Second, "proxied request deadline")
+	flag.DurationVar(&cfg.grace, "grace", 15*time.Second, "shutdown drain budget")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "simproxy:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the proxy and blocks until ctx is cancelled (signal) or the
+// listener fails. If ready is non-nil it receives the bound address once
+// the proxy is listening.
+func run(ctx context.Context, cfg proxyConfig, ready chan<- string) error {
+	logger := log.New(os.Stderr, "simproxy: ", log.LstdFlags)
+
+	if strings.TrimSpace(cfg.replicas) == "" {
+		return errors.New("-replicas is required (comma-separated simrankd base URLs)")
+	}
+	var urls []string
+	for _, u := range strings.Split(cfg.replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	set, err := cluster.NewSet(cluster.SetConfig{
+		Replicas:      urls,
+		MaxLag:        cfg.maxLag,
+		ProbeInterval: cfg.probeInterval,
+		ProbeTimeout:  cfg.probeTimeout,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	proxy, err := cluster.New(cluster.Config{Set: set, Policy: cfg.policy, Timeout: cfg.timeout})
+	if err != nil {
+		return err
+	}
+
+	// Probe before accepting traffic so the first request already routes
+	// on real health state, then keep probing in the background.
+	set.ProbeOnce(ctx)
+	set.Start(ctx)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: proxy.Handler()}
+	logger.Printf("routing %d replicas (%d routable) by %s on %s",
+		len(set.Replicas()), len(set.Routable()), proxy.Policy().Name(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutdown: draining (budget %s)", cfg.grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: %v (forcing close)", err)
+		httpSrv.Close()
+	}
+	logger.Printf("shutdown: drained cleanly")
+	return nil
+}

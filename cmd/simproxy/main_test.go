@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRunValidation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, proxyConfig{}, nil); err == nil {
+		t.Fatal("missing -replicas must be rejected")
+	}
+	if err := run(ctx, proxyConfig{replicas: "a:1,a:1"}, nil); err == nil {
+		t.Fatal("duplicate replicas must be rejected")
+	}
+	if err := run(ctx, proxyConfig{replicas: "a:1", policy: "random"}, nil); err == nil {
+		t.Fatal("unknown policy must be rejected")
+	}
+}
+
+// TestProxyServesAndShutsDown boots the proxy over one stub replica,
+// routes a query through it, and expects a clean graceful shutdown.
+func TestProxyServesAndShutsDown(t *testing.T) {
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/healthz":
+			fmt.Fprint(w, `{"status":"ok"}`)
+		case "/statsz":
+			fmt.Fprint(w, `{"epoch":3,"graph_n":10,"graph_m":20}`)
+		case "/v1/single-source":
+			fmt.Fprint(w, `{"node":1,"epoch":3}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer replica.Close()
+
+	cfg := proxyConfig{
+		addr:          "127.0.0.1:0",
+		replicas:      replica.URL,
+		policy:        "hash",
+		maxLag:        16,
+		probeInterval: 100 * time.Millisecond,
+		probeTimeout:  time.Second,
+		timeout:       5 * time.Second,
+		grace:         5 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, ready) }()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("proxy exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("proxy never became ready")
+	}
+
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var m map[string]any
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, &m); err != nil {
+				t.Fatalf("decoding %s: %v", raw, err)
+			}
+		}
+		return resp.StatusCode, m
+	}
+
+	if code, body := get("/healthz"); code != 200 || body["routable"].(float64) != 1 {
+		t.Fatalf("healthz = %d %v", code, body)
+	}
+	if code, body := get("/v1/single-source?node=1&seed=1"); code != 200 || body["epoch"].(float64) != 3 {
+		t.Fatalf("proxied query = %d %v", code, body)
+	}
+	if code, body := get("/statsz"); code != 200 || body["proxy"] != true || body["policy"] != "hash" {
+		t.Fatalf("statsz = %d %v", code, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("proxy did not shut down")
+	}
+}

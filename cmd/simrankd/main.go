@@ -14,6 +14,7 @@
 //	DELETE /v1/edges          remove edges (live source)
 //	GET    /healthz           liveness/readiness (503 while draining)
 //	GET    /statsz            serving counters as JSON
+//	GET    /v1/replication    leader-only mutation feed (with -lead)
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the daemon flips /healthz to
 // 503, stops accepting connections, lets in-flight requests finish
@@ -23,6 +24,16 @@
 //
 //	simrankd -graph web.txt -addr :8080
 //	simrankd -dataset dblp-sim -scale 0.5 -eps 0.05
+//	simrankd -graph web.txt -addr :8081 -lead
+//	simrankd -graph web.txt -addr :8082 -follow http://127.0.0.1:8081
+//
+// With -lead the daemon is a replication leader: every write batch
+// commits atomically at exactly one new epoch and is retained in a
+// bounded in-memory log that followers stream via /v1/replication. With
+// -follow the daemon replays that feed (rejecting direct writes with
+// 409) and /healthz reports catching_up until it reaches the leader's
+// epoch. Front a leader plus its followers with simproxy to get one
+// serving surface.
 package main
 
 import (
@@ -63,6 +74,10 @@ type daemonConfig struct {
 	maxTimeout   time.Duration
 	maxBatch     int
 	grace        time.Duration
+
+	lead           bool
+	follow         string
+	replicationLog int
 }
 
 func main() {
@@ -85,6 +100,9 @@ func main() {
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", time.Minute, "upper bound on the ?timeout parameter")
 	flag.IntVar(&cfg.maxBatch, "max-batch", 256, "max nodes per /v1/batch request")
 	flag.DurationVar(&cfg.grace, "grace", 15*time.Second, "shutdown drain budget")
+	flag.BoolVar(&cfg.lead, "lead", false, "serve as the cluster's replication leader: accept writes and publish the mutation feed on /v1/replication")
+	flag.StringVar(&cfg.follow, "follow", "", "serve as a follower of this leader base URL: reject direct writes and replay the leader's mutation feed")
+	flag.IntVar(&cfg.replicationLog, "replication-log", 1024, "mutation batches the leader retains for followers (with -lead)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -124,6 +142,19 @@ func loadSource(cfg daemonConfig) (simpush.GraphSource, *simpush.Graph, error) {
 func run(ctx context.Context, cfg daemonConfig, ready chan<- string) error {
 	logger := log.New(os.Stderr, "simrankd: ", log.LstdFlags)
 
+	role := server.RoleStandalone
+	switch {
+	case cfg.lead && cfg.follow != "":
+		return errors.New("-lead and -follow are mutually exclusive")
+	case cfg.lead:
+		role = server.RoleLeader
+	case cfg.follow != "":
+		role = server.RoleFollower
+	}
+	if role != server.RoleStandalone && cfg.static {
+		return errors.New("-lead/-follow need a live graph source (drop -static)")
+	}
+
 	src, g, err := loadSource(cfg)
 	if err != nil {
 		return err
@@ -144,10 +175,14 @@ func run(ctx context.Context, cfg daemonConfig, ready chan<- string) error {
 		DefaultTimeout: cfg.timeout,
 		MaxTimeout:     cfg.maxTimeout,
 		MaxBatch:       cfg.maxBatch,
+		Role:           role,
+		LeaderURL:      cfg.follow,
+		ReplicationLog: cfg.replicationLog,
 	})
 	if err != nil {
 		return err
 	}
+	srv.StartReplication(ctx)
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -157,6 +192,9 @@ func run(ctx context.Context, cfg daemonConfig, ready chan<- string) error {
 	mode := "live"
 	if cfg.static {
 		mode = "static"
+	}
+	if role != server.RoleStandalone {
+		mode += " " + string(role)
 	}
 	logger.Printf("serving %s graph (n=%d, m=%d) on %s", mode, g.N(), g.M(), ln.Addr())
 	if ready != nil {

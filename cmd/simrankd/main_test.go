@@ -170,3 +170,127 @@ func TestDaemonStaticMode(t *testing.T) {
 		t.Fatalf("shutdown: %v", err)
 	}
 }
+
+func TestClusterRoleValidation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base := daemonConfig{addr: "127.0.0.1:0", graphPath: writeTestGraph(t), grace: time.Second}
+
+	cfg := base
+	cfg.lead = true
+	cfg.follow = "http://127.0.0.1:1"
+	if err := run(ctx, cfg, nil); err == nil {
+		t.Fatal("-lead with -follow must be rejected")
+	}
+	cfg = base
+	cfg.lead = true
+	cfg.static = true
+	if err := run(ctx, cfg, nil); err == nil {
+		t.Fatal("-lead with -static must be rejected")
+	}
+}
+
+// TestDaemonLeaderFollower boots a -lead daemon and a -follow daemon on
+// ephemeral ports and checks the replication contract end to end: the
+// follower turns healthy, a write to the leader raises both epochs, and
+// the follower refuses direct writes.
+func TestDaemonLeaderFollower(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	graph := writeTestGraph(t)
+	boot := func(cfg daemonConfig) (string, chan error) {
+		t.Helper()
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() { done <- run(ctx, cfg, ready) }()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, done
+		case err := <-done:
+			t.Fatalf("daemon exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		return "", nil
+	}
+	base := daemonConfig{
+		addr: "127.0.0.1:0", graphPath: graph,
+		eps: 0.05, delta: 1e-4, decay: 0.6,
+		timeout: 5 * time.Second, maxTimeout: 10 * time.Second,
+		maxBatch: 16, grace: 5 * time.Second, replicationLog: 64,
+	}
+	leadCfg := base
+	leadCfg.lead = true
+	leaderURL, _ := boot(leadCfg)
+
+	followCfg := base
+	followCfg.follow = leaderURL
+	followerURL, _ := boot(followCfg)
+
+	status := func(url string) int {
+		resp, err := http.Get(url)
+		if err != nil {
+			return -1
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for status(followerURL+"/healthz") != 200 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never became healthy")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	resp, err := http.Post(leaderURL+"/v1/edges", "application/json", strings.NewReader(`{"from":4,"to":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied struct {
+		Epoch float64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&applied); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || applied.Epoch != 2 {
+		t.Fatalf("leader write = %d epoch %v, want 200 at epoch 2", resp.StatusCode, applied.Epoch)
+	}
+
+	epochOf := func(url string) float64 {
+		resp, err := http.Get(url + "/statsz")
+		if err != nil {
+			return -1
+		}
+		defer resp.Body.Close()
+		var stats struct {
+			Epoch float64 `json:"epoch"`
+		}
+		json.NewDecoder(resp.Body).Decode(&stats)
+		return stats.Epoch
+	}
+	for epochOf(followerURL) != applied.Epoch {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at epoch %v, leader at %v", epochOf(followerURL), applied.Epoch)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	if code := statusOfWrite(t, followerURL); code != http.StatusConflict {
+		t.Fatalf("direct write on follower = %d, want 409", code)
+	}
+}
+
+func statusOfWrite(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/edges", "application/json", strings.NewReader(`{"from":0,"to":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// A RoutingPolicy picks the replica a read is sent to. candidates is the
+// currently routable subset (never empty) in registration order; node is
+// the query's source node when the request has one (hasNode false for
+// requests without an affinity key, e.g. a batch whose body failed to
+// parse). Implementations must be safe for concurrent use.
+type RoutingPolicy interface {
+	Name() string
+	Pick(node int32, hasNode bool, candidates []*Replica) *Replica
+}
+
+// NewPolicy builds a policy by flag name over the full replica roster
+// (the consistent-hash ring is built from all replicas, not just the
+// currently healthy ones, so health flaps don't remap the whole ring).
+func NewPolicy(name string, all []*Replica) (RoutingPolicy, error) {
+	switch name {
+	case "hash", "cache-affinity", "affinity":
+		return newConsistentHash(all), nil
+	case "least-loaded":
+		return leastLoaded{}, nil
+	case "round-robin":
+		return &roundRobin{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown routing policy %q (want hash, least-loaded or round-robin)", name)
+}
+
+// roundRobin cycles through the candidates in order. With a stable
+// candidate set the spread is exactly uniform; it ignores both node
+// affinity and load.
+type roundRobin struct{ next atomic.Uint64 }
+
+func (p *roundRobin) Name() string { return "round-robin" }
+
+func (p *roundRobin) Pick(_ int32, _ bool, candidates []*Replica) *Replica {
+	return candidates[(p.next.Add(1)-1)%uint64(len(candidates))]
+}
+
+// leastLoaded picks the candidate with the fewest in-flight requests
+// (replica-reported engine in-flight plus this proxy's open requests).
+// Ties break to the lowest registration index, so a freshly started
+// cluster routes deterministically instead of by map order.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+func (leastLoaded) Pick(_ int32, _ bool, candidates []*Replica) *Replica {
+	best := candidates[0]
+	bestLoad := best.Load()
+	for _, r := range candidates[1:] {
+		if l := r.Load(); l < bestLoad || (l == bestLoad && r.idx < best.idx) {
+			best, bestLoad = r, l
+		}
+	}
+	return best
+}
+
+// consistentHash routes each node to a stable replica via a hash ring
+// with virtual nodes: adding a replica to an N-replica ring remaps only
+// ~1/(N+1) of the key space, so replica caches stay warm through roster
+// changes. Unrouteable owners (not in candidates) fall through to the
+// next point clockwise, which preserves the rest of the mapping when one
+// replica fails out.
+type consistentHash struct {
+	points   []ringPoint
+	fallback roundRobin // for requests with no affinity key
+}
+
+type ringPoint struct {
+	hash uint64
+	rep  *Replica
+}
+
+// vnodes spreads each replica over the ring; 64 keeps the per-replica
+// share within a few percent of uniform at single-digit cluster sizes.
+const vnodes = 64
+
+func newConsistentHash(all []*Replica) *consistentHash {
+	ch := &consistentHash{points: make([]ringPoint, 0, len(all)*vnodes)}
+	for _, r := range all {
+		for v := 0; v < vnodes; v++ {
+			ch.points = append(ch.points, ringPoint{
+				hash: hashString(fmt.Sprintf("%s#%d", r.Name, v)),
+				rep:  r,
+			})
+		}
+	}
+	sort.Slice(ch.points, func(i, j int) bool { return ch.points[i].hash < ch.points[j].hash })
+	return ch
+}
+
+func (ch *consistentHash) Name() string { return "hash" }
+
+func (ch *consistentHash) Pick(node int32, hasNode bool, candidates []*Replica) *Replica {
+	if !hasNode || len(ch.points) == 0 {
+		return ch.fallback.Pick(node, hasNode, candidates)
+	}
+	h := hashNode(node)
+	start := sort.Search(len(ch.points), func(i int) bool { return ch.points[i].hash >= h })
+	for i := 0; i < len(ch.points); i++ {
+		rep := ch.points[(start+i)%len(ch.points)].rep
+		for _, c := range candidates {
+			if c == rep {
+				return rep
+			}
+		}
+	}
+	return ch.fallback.Pick(node, hasNode, candidates)
+}
+
+// hashString is FNV-1a finalized with mix64, used for ring point
+// placement. Raw FNV leaves too little avalanche for near-identical
+// keys like "replica-0#17" / "replica-1#17", which clumps vnode points
+// and skews replica shares well away from uniform.
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return mix64(h)
+}
+
+// hashNode maps a node id to a well-mixed ring position so sequential
+// ids land far apart.
+func hashNode(node int32) uint64 {
+	return mix64(uint64(uint32(node)) + 0x9e3779b97f4a7c15)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

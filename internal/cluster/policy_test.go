@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testSet builds a Set of n synthetic replicas (no network involved).
+func testSet(t *testing.T, n int) *Set {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("replica-%d:70%02d", i, i)
+	}
+	s, err := NewSet(SetConfig{Replicas: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	reps := testSet(t, 3).Replicas()
+	for _, name := range []string{"hash", "cache-affinity", "affinity", "least-loaded", "round-robin"} {
+		if _, err := NewPolicy(name, reps); err != nil {
+			t.Errorf("NewPolicy(%q) = %v", name, err)
+		}
+	}
+	if _, err := NewPolicy("random", reps); err == nil {
+		t.Error("unknown policy name must be rejected")
+	}
+}
+
+func TestRoundRobinCyclesUniformly(t *testing.T) {
+	reps := testSet(t, 3).Replicas()
+	p, _ := NewPolicy("round-robin", reps)
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[p.Pick(int32(i), true, reps).Name]++
+	}
+	for _, r := range reps {
+		if counts[r.Name] != 100 {
+			t.Fatalf("round-robin spread = %v, want exactly 100 each", counts)
+		}
+	}
+}
+
+func TestLeastLoadedPicksMinAndBreaksTiesByIndex(t *testing.T) {
+	reps := testSet(t, 3).Replicas()
+	p, _ := NewPolicy("least-loaded", reps)
+
+	// All idle: the tie must break to the lowest registration index, not
+	// whichever candidate happens to come first in an arbitrary order.
+	if got := p.Pick(0, true, []*Replica{reps[2], reps[1], reps[0]}); got != reps[0] {
+		t.Fatalf("idle tie-break picked %s, want %s", got.Name, reps[0].Name)
+	}
+
+	reps[0].inFlight.Store(5)
+	reps[1].inFlight.Store(2)
+	reps[2].inFlight.Store(9)
+	if got := p.Pick(0, true, reps); got != reps[1] {
+		t.Fatalf("least-loaded picked %s (load %d), want %s", got.Name, got.Load(), reps[1].Name)
+	}
+
+	// Proxy-local outstanding requests count toward load between probes.
+	reps[1].outstanding.Store(10)
+	if got := p.Pick(0, true, reps); got != reps[0] {
+		t.Fatalf("least-loaded ignored local outstanding: picked %s", got.Name)
+	}
+}
+
+// TestConsistentHashIsDeterministic: the same node always lands on the
+// same replica while the candidate set is stable.
+func TestConsistentHashIsDeterministic(t *testing.T) {
+	reps := testSet(t, 4).Replicas()
+	p, _ := NewPolicy("hash", reps)
+	for node := int32(0); node < 1000; node++ {
+		a := p.Pick(node, true, reps)
+		b := p.Pick(node, true, reps)
+		if a != b {
+			t.Fatalf("node %d routed to %s then %s", node, a.Name, b.Name)
+		}
+	}
+}
+
+// TestConsistentHashStability is the cache-affinity contract: growing the
+// roster from N to N+1 replicas must remap only about 1/(N+1) of the key
+// space, so existing replicas keep most of their warm cache slices.
+func TestConsistentHashStability(t *testing.T) {
+	const nodes = 10000
+	small := testSet(t, 4)
+	// The grown roster shares the first 4 names so ring points for the
+	// surviving replicas are identical.
+	grown := testSet(t, 5)
+
+	pSmall, _ := NewPolicy("hash", small.Replicas())
+	pGrown, _ := NewPolicy("hash", grown.Replicas())
+
+	remapped := 0
+	for node := int32(0); node < nodes; node++ {
+		before := pSmall.Pick(node, true, small.Replicas())
+		after := pGrown.Pick(node, true, grown.Replicas())
+		if before.Name != after.Name {
+			remapped++
+		}
+	}
+	frac := float64(remapped) / nodes
+	// Ideal is 1/5 = 20%; vnode placement noise allows some slack, but
+	// anything near (N-1)/N would mean the ring is not consistent at all.
+	if frac > 0.35 {
+		t.Fatalf("adding a 5th replica remapped %.1f%% of nodes, want ~20%%", frac*100)
+	}
+	if remapped == 0 {
+		t.Fatal("adding a replica remapped nothing — the new replica gets no keys")
+	}
+}
+
+// TestConsistentHashFailoverPreservesMapping: when one replica drops out
+// of the candidate set, only its keys move; every other node keeps its
+// original owner.
+func TestConsistentHashFailoverPreservesMapping(t *testing.T) {
+	set := testSet(t, 4)
+	reps := set.Replicas()
+	p, _ := NewPolicy("hash", reps)
+
+	before := make(map[int32]*Replica)
+	for node := int32(0); node < 2000; node++ {
+		before[node] = p.Pick(node, true, reps)
+	}
+	down := reps[1]
+	up := []*Replica{reps[0], reps[2], reps[3]}
+	for node := int32(0); node < 2000; node++ {
+		got := p.Pick(node, true, up)
+		if got == down {
+			t.Fatalf("node %d routed to the failed replica", node)
+		}
+		if before[node] != down && got != before[node] {
+			t.Fatalf("node %d moved from %s to %s though its owner is up", node, before[node].Name, got.Name)
+		}
+	}
+}
+
+func TestConsistentHashFallsBackWithoutAffinityKey(t *testing.T) {
+	reps := testSet(t, 3).Replicas()
+	p, _ := NewPolicy("hash", reps)
+	seen := map[string]bool{}
+	for i := 0; i < 30; i++ {
+		seen[p.Pick(0, false, reps).Name] = true
+	}
+	if len(seen) != len(reps) {
+		t.Fatalf("no-affinity fallback used %d replicas, want all %d (round-robin)", len(seen), len(reps))
+	}
+}

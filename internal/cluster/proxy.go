@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/simrank/simpush/internal/cache"
+	"github.com/simrank/simpush/internal/server"
+)
+
+// ReplicaHeader names the response header the proxy stamps with the
+// replica that served each request — smoke tests and operators use it to
+// see routing decisions without log-diving.
+const ReplicaHeader = "X-Simproxy-Replica"
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// Set is the probed replica roster. Required.
+	Set *Set
+
+	// Policy is the read-routing policy name: "hash" (cache affinity,
+	// the default), "least-loaded" or "round-robin".
+	Policy string
+
+	// Timeout caps one proxied request round-trip (default 90s — above
+	// the replicas' own MaxTimeout so the replica-side deadline, with its
+	// more precise 504, fires first).
+	Timeout time.Duration
+}
+
+// Proxy is the simproxy HTTP handler: it fronts a replica Set, routes
+// reads by policy, sends writes to the leader only, and fails over.
+type Proxy struct {
+	set    *Set
+	policy RoutingPolicy
+	client *http.Client
+	mux    *http.ServeMux
+	start  time.Time
+
+	requests  counter
+	writes    counter
+	retries   counter
+	failovers counter // requests answered by the retry replica
+	noReplica counter
+	badGW     counter
+}
+
+type counter struct{ v atomic.Uint64 }
+
+// New builds a Proxy over cfg.Set.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Set == nil {
+		return nil, fmt.Errorf("cluster: Config.Set is required")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "hash"
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 90 * time.Second
+	}
+	policy, err := NewPolicy(cfg.Policy, cfg.Set.Replicas())
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		set:    cfg.Set,
+		policy: policy,
+		client: &http.Client{Timeout: cfg.Timeout},
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	p.mux.HandleFunc("/v1/single-source", p.handleRead)
+	p.mux.HandleFunc("/v1/topk", p.handleRead)
+	p.mux.HandleFunc("/v1/pair", p.handleRead)
+	p.mux.HandleFunc("/v1/batch", p.handleRead)
+	p.mux.HandleFunc("/v1/edges", p.handleWrite)
+	p.mux.HandleFunc("/healthz", p.handleHealthz)
+	p.mux.HandleFunc("/statsz", p.handleStatsz)
+	return p, nil
+}
+
+// Handler returns the proxy's root handler.
+func (p *Proxy) Handler() http.Handler { return p.mux }
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.mux.ServeHTTP(w, r) }
+
+// Policy returns the active routing policy.
+func (p *Proxy) Policy() RoutingPolicy { return p.policy }
+
+func writeProxyError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf(format, args...), "code": code,
+	})
+}
+
+// affinityNode extracts the routing key of a read: the source node of
+// the query (?node, pair's ?u, or a batch body's first node).
+func affinityNode(r *http.Request, body []byte) (int32, bool) {
+	name := "node"
+	if r.URL.Path == "/v1/pair" {
+		name = "u"
+	}
+	if v := r.URL.Query().Get(name); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 32); err == nil {
+			return int32(n), true
+		}
+		return 0, false
+	}
+	if len(body) > 0 {
+		var b struct {
+			Nodes []int32 `json:"nodes"`
+		}
+		if json.Unmarshal(body, &b) == nil && len(b.Nodes) > 0 {
+			return b.Nodes[0], true
+		}
+	}
+	return 0, false
+}
+
+// do forwards one request to rep and returns the replica's response.
+func (p *Proxy) do(ctx context.Context, rep *Replica, method, uri, contentType string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rep.URL+uri, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rep.proxied.Add(1)
+	rep.outstanding.Add(1)
+	resp, err := p.client.Do(req)
+	rep.outstanding.Add(-1)
+	return resp, err
+}
+
+// relay copies a replica response to the client, stamped with the
+// replica that served it.
+func (p *Proxy) relay(w http.ResponseWriter, resp *http.Response, rep *Replica) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set(ReplicaHeader, rep.Name)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// retryable reports whether a read should fail over to another replica:
+// transport failure, load shedding (429) or a server-side error (5xx).
+func retryable(resp *http.Response, err error) bool {
+	return err != nil || resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+}
+
+// handleRead routes one query through the policy, failing over once to
+// another routable replica on 429/5xx or a transport error.
+func (p *Proxy) handleRead(w http.ResponseWriter, r *http.Request) {
+	p.requests.v.Add(1)
+	var body []byte
+	if r.Body != nil {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeProxyError(w, http.StatusBadRequest, "bad_body", "reading request body: %v", err)
+			return
+		}
+		body = b
+	}
+	candidates := p.set.Routable()
+	if len(candidates) == 0 {
+		p.noReplica.v.Add(1)
+		writeProxyError(w, http.StatusServiceUnavailable, "no_replica", "no routable replica (all draining, lagging or unreachable)")
+		return
+	}
+	node, hasNode := affinityNode(r, body)
+	rep := p.policy.Pick(node, hasNode, candidates)
+	uri := r.URL.RequestURI()
+	ct := r.Header.Get("Content-Type")
+
+	resp, err := p.do(r.Context(), rep, r.Method, uri, ct, body)
+	if retryable(resp, err) && len(candidates) > 1 {
+		rest := make([]*Replica, 0, len(candidates)-1)
+		for _, c := range candidates {
+			if c != rep {
+				rest = append(rest, c)
+			}
+		}
+		p.retries.v.Add(1)
+		rep2 := p.policy.Pick(node, hasNode, rest)
+		resp2, err2 := p.do(r.Context(), rep2, r.Method, uri, ct, body)
+		if err2 == nil && (err != nil || !retryable(resp2, nil) || resp2.StatusCode <= resp.StatusCode) {
+			// Prefer the retry's answer unless it is strictly worse than
+			// what the first replica already said.
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			resp, err, rep = resp2, nil, rep2
+			p.failovers.v.Add(1)
+		} else if err2 == nil {
+			io.Copy(io.Discard, resp2.Body)
+			resp2.Body.Close()
+		}
+	}
+	if err != nil {
+		p.badGW.v.Add(1)
+		writeProxyError(w, http.StatusBadGateway, "bad_gateway", "replica %s: %v", rep.Name, err)
+		return
+	}
+	p.relay(w, resp, rep)
+}
+
+// handleWrite forwards a mutation to the leader. Writes are never
+// retried: the proxy cannot know whether a failed round-trip applied the
+// batch, and replaying it would commit the mutation twice.
+func (p *Proxy) handleWrite(w http.ResponseWriter, r *http.Request) {
+	p.requests.v.Add(1)
+	p.writes.v.Add(1)
+	leader := p.set.Leader()
+	if leader == nil {
+		p.noReplica.v.Add(1)
+		writeProxyError(w, http.StatusServiceUnavailable, "no_leader", "no replica currently claims the leader role")
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeProxyError(w, http.StatusBadRequest, "bad_body", "reading request body: %v", err)
+		return
+	}
+	resp, err := p.do(r.Context(), leader, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+	if err != nil {
+		p.badGW.v.Add(1)
+		writeProxyError(w, http.StatusBadGateway, "bad_gateway", "leader %s: %v", leader.Name, err)
+		return
+	}
+	p.relay(w, resp, leader)
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	routable := len(p.set.Routable())
+	status := http.StatusOK
+	state := "ok"
+	if routable == 0 {
+		status = http.StatusServiceUnavailable
+		state = "no_replica"
+	}
+	body := map[string]any{
+		"status":   state,
+		"routable": routable,
+		"replicas": len(p.set.Replicas()),
+	}
+	if leader := p.set.Leader(); leader != nil {
+		body["leader"] = leader.Name
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// ReplicaStats is one replica's block in the proxy's /statsz.
+type ReplicaStats struct {
+	Name          string      `json:"name"`
+	URL           string      `json:"url"`
+	Healthy       bool        `json:"healthy"`
+	Routable      bool        `json:"routable"`
+	Leader        bool        `json:"leader"`
+	Status        string      `json:"status"`
+	Epoch         uint64      `json:"epoch"`
+	Lag           int64       `json:"lag"`
+	InFlight      int64       `json:"in_flight"`
+	Proxied       uint64      `json:"requests_proxied"`
+	Cache         cache.Stats `json:"cache"`
+	EngineQueries uint64      `json:"engine_queries"`
+}
+
+// StatsSnapshot is the proxy's /statsz payload. The top-level field
+// names (graph_n, epoch, cache, client) deliberately mirror a replica's
+// /statsz so tooling that reads either — simbench -http in particular —
+// works against both; aggregates are summed over the roster and Replicas
+// carries the per-replica breakdown.
+type StatsSnapshot struct {
+	Proxy         bool               `json:"proxy"`
+	Policy        string             `json:"policy"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	GraphN        int32              `json:"graph_n"`
+	GraphM        int64              `json:"graph_m"`
+	Epoch         uint64             `json:"epoch"`
+	Requests      uint64             `json:"requests"`
+	Writes        uint64             `json:"writes"`
+	Retries       uint64             `json:"retries"`
+	Failovers     uint64             `json:"failovers"`
+	NoReplica     uint64             `json:"no_replica_503"`
+	BadGateway    uint64             `json:"bad_gateway_502"`
+	Routable      int                `json:"routable"`
+	Cache         cache.Stats        `json:"cache"`
+	Client        server.ClientStats `json:"client"`
+	Replicas      []ReplicaStats     `json:"replicas"`
+}
+
+// Stats assembles the aggregate + per-replica snapshot from the last
+// probe results (call Set.ProbeOnce first for fresh numbers).
+func (p *Proxy) Stats() StatsSnapshot {
+	snap := StatsSnapshot{
+		Proxy:         true,
+		Policy:        p.policy.Name(),
+		UptimeSeconds: time.Since(p.start).Seconds(),
+		Requests:      p.requests.v.Load(),
+		Writes:        p.writes.v.Load(),
+		Retries:       p.retries.v.Load(),
+		Failovers:     p.failovers.v.Load(),
+		NoReplica:     p.noReplica.v.Load(),
+		BadGateway:    p.badGW.v.Load(),
+	}
+	for _, r := range p.set.Replicas() {
+		rs := ReplicaStats{
+			Name:     r.Name,
+			URL:      r.URL,
+			Healthy:  r.healthy.Load(),
+			Routable: r.routable.Load(),
+			Leader:   r.leader.Load(),
+			Status:   r.Status(),
+			Epoch:    r.epoch.Load(),
+			Lag:      r.lag.Load(),
+			InFlight: r.Load(),
+			Proxied:  r.proxied.Load(),
+		}
+		if st := r.stats.Load(); st != nil {
+			rs.Cache = st.Cache
+			rs.EngineQueries = st.Client.Queries
+			snap.Cache.Hits += st.Cache.Hits
+			snap.Cache.Misses += st.Cache.Misses
+			snap.Cache.Coalesced += st.Cache.Coalesced
+			snap.Cache.Evictions += st.Cache.Evictions
+			snap.Cache.Entries += st.Cache.Entries
+			snap.Client.Queries += st.Client.Queries
+			snap.Client.Errors += st.Client.Errors
+			snap.Client.InFlight += st.Client.InFlight
+			if snap.GraphN == 0 {
+				snap.GraphN, snap.GraphM = st.GraphN, st.GraphM
+			}
+		}
+		if rs.Routable {
+			snap.Routable++
+			if rs.Epoch > snap.Epoch {
+				snap.Epoch = rs.Epoch
+			}
+		}
+		snap.Replicas = append(snap.Replicas, rs)
+	}
+	return snap
+}
+
+// handleStatsz refreshes the probe state (bounded to 2s) so the counters
+// are current, then reports the aggregate + per-replica snapshot.
+func (p *Proxy) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	p.set.ProbeOnce(ctx)
+	cancel()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(p.Stats())
+}

@@ -1,0 +1,264 @@
+// Package cluster is the coordination tier that turns N simrankd
+// replicas into one serving surface. It contains the three pieces the
+// simproxy router is built from:
+//
+//   - a replica Set with a background health prober that tracks each
+//     replica's /healthz state and /statsz counters (role, epoch,
+//     replication lag, in-flight work, cache counters);
+//   - pluggable RoutingPolicy implementations — consistent-hash on the
+//     query node (cache affinity), least-loaded, round-robin;
+//   - the Proxy handler itself, which routes reads through the policy,
+//     sends writes only to the leader, fails over away from draining or
+//     lagging replicas, and retries reads once on another replica.
+//
+// The cache-affinity argument: simrankd's result cache is keyed by
+// (epoch, kind, node, params), so routing every query for node u to the
+// same replica makes each replica's cache concentrate on its own slice of
+// the hot set — aggregate hit rate rises with replica count instead of
+// staying flat as every replica caches every node.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/simrank/simpush/internal/server"
+)
+
+// Replica is one simrankd process as seen by the proxy. All fields
+// updated by the prober and the request path are atomic; a Replica is
+// safe for concurrent use.
+type Replica struct {
+	Name string // host:port, the stable display and hash-ring identity
+	URL  string // base URL, no trailing slash
+	idx  int    // registration order; deterministic tie-breaks
+
+	healthy     atomic.Bool  // /healthz answered 200
+	routable    atomic.Bool  // healthy, not draining, lag within bound
+	leader      atomic.Bool  // /statsz replication.role == leader
+	status      atomic.Value // string: ok | draining | catching_up | diverged | unreachable | unknown
+	epoch       atomic.Uint64
+	lag         atomic.Int64
+	inFlight    atomic.Int64 // replica-reported engine in-flight (last probe)
+	outstanding atomic.Int64 // requests this proxy has open against it
+	proxied     atomic.Uint64
+	stats       atomic.Pointer[server.StatsSnapshot] // last good /statsz
+}
+
+// Load is the least-loaded signal: the replica's own in-flight engine
+// count from the last probe plus the requests this proxy currently has
+// open against it (the local term keeps the signal live between probes).
+func (r *Replica) Load() int64 { return r.inFlight.Load() + r.outstanding.Load() }
+
+// Routable reports whether reads may be sent here.
+func (r *Replica) Routable() bool { return r.routable.Load() }
+
+// Status returns the last probed status string.
+func (r *Replica) Status() string {
+	if s, ok := r.status.Load().(string); ok {
+		return s
+	}
+	return "unknown"
+}
+
+// SetConfig parameterizes a replica Set.
+type SetConfig struct {
+	// Replicas is the list of simrankd base URLs (scheme optional;
+	// "host:port" is normalized to "http://host:port"). Required.
+	Replicas []string
+
+	// MaxLag is the replication lag (in epochs) beyond which a follower
+	// is failed out of the read set until it drains (default 16).
+	MaxLag int64
+
+	// ProbeInterval is the background health-probe cadence (default 1s).
+	ProbeInterval time.Duration
+
+	// ProbeTimeout bounds one probe round-trip (default 2s).
+	ProbeTimeout time.Duration
+
+	// Logf, when set, receives one line per replica state transition.
+	Logf func(format string, args ...any)
+}
+
+// Set is a fixed roster of replicas plus the prober that keeps their
+// health and stats fresh.
+type Set struct {
+	replicas []*Replica
+	cfg      SetConfig
+	client   *http.Client
+}
+
+// NewSet builds a Set from the configured replica URLs.
+func NewSet(cfg SetConfig) (*Set, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: at least one replica is required")
+	}
+	if cfg.MaxLag <= 0 {
+		cfg.MaxLag = 16
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	s := &Set{cfg: cfg, client: &http.Client{Timeout: cfg.ProbeTimeout}}
+	seen := map[string]bool{}
+	for i, raw := range cfg.Replicas {
+		base := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if base == "" {
+			return nil, fmt.Errorf("cluster: empty replica URL at position %d", i)
+		}
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		u, err := url.Parse(base)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad replica URL %q", raw)
+		}
+		if seen[base] {
+			return nil, fmt.Errorf("cluster: duplicate replica %q", raw)
+		}
+		seen[base] = true
+		rep := &Replica{Name: u.Host, URL: base, idx: i}
+		rep.status.Store("unknown")
+		s.replicas = append(s.replicas, rep)
+	}
+	return s, nil
+}
+
+// Replicas returns the full roster in registration order.
+func (s *Set) Replicas() []*Replica { return s.replicas }
+
+// Routable returns the replicas reads may currently be sent to, in
+// registration order.
+func (s *Set) Routable() []*Replica {
+	out := make([]*Replica, 0, len(s.replicas))
+	for _, r := range s.replicas {
+		if r.routable.Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Leader returns the replica currently claiming the leader role (lowest
+// registration index wins if several do), or nil.
+func (s *Set) Leader() *Replica {
+	for _, r := range s.replicas {
+		if r.leader.Load() && r.healthy.Load() {
+			return r
+		}
+	}
+	return nil
+}
+
+// Start launches the background prober; it stops when ctx is cancelled.
+func (s *Set) Start(ctx context.Context) {
+	go func() {
+		ticker := time.NewTicker(s.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				s.ProbeOnce(ctx)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// ProbeOnce probes every replica concurrently and waits for the sweep to
+// finish. It is called by the background prober, at proxy startup so the
+// first request already sees health state, and by /statsz for fresh
+// counters.
+func (s *Set) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, r := range s.replicas {
+		wg.Add(1)
+		go func(r *Replica) {
+			defer wg.Done()
+			s.probe(ctx, r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// healthzBody is the /healthz payload (we only need the status string).
+type healthzBody struct {
+	Status string `json:"status"`
+}
+
+// probe refreshes one replica: /healthz decides routability, /statsz
+// refreshes counters, role and lag.
+func (s *Set) probe(ctx context.Context, r *Replica) {
+	pctx, cancel := context.WithTimeout(ctx, s.cfg.ProbeTimeout)
+	defer cancel()
+
+	status := "unreachable"
+	healthOK := false
+	if body, code, err := s.get(pctx, r.URL+"/healthz"); err == nil {
+		var hb healthzBody
+		if json.Unmarshal(body, &hb) == nil && hb.Status != "" {
+			status = hb.Status
+		} else if code == http.StatusOK {
+			status = "ok"
+		}
+		healthOK = code == http.StatusOK
+	}
+
+	var lag int64
+	if body, code, err := s.get(pctx, r.URL+"/statsz"); err == nil && code == http.StatusOK {
+		var snap server.StatsSnapshot
+		if json.Unmarshal(body, &snap) == nil {
+			r.stats.Store(&snap)
+			r.epoch.Store(snap.Epoch)
+			r.inFlight.Store(int64(snap.Admission.InFlight))
+			isLeader := false
+			if rep := snap.Replication; rep != nil {
+				lag = rep.Lag
+				isLeader = rep.Role == server.RoleLeader
+				r.epoch.Store(rep.AppliedEpoch)
+			}
+			r.leader.Store(isLeader)
+		}
+	}
+	r.lag.Store(lag)
+
+	routable := healthOK && lag <= s.cfg.MaxLag
+	if healthOK && lag > s.cfg.MaxLag {
+		status = "lagging"
+	}
+	prev := r.Status()
+	wasRoutable := r.routable.Load()
+	r.healthy.Store(healthOK)
+	r.routable.Store(routable)
+	r.status.Store(status)
+	if s.cfg.Logf != nil && (prev != status || wasRoutable != routable) {
+		s.cfg.Logf("replica %s: %s -> %s (routable=%v, lag=%d)", r.Name, prev, status, routable, lag)
+	}
+}
+
+func (s *Set) get(ctx context.Context, url string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return body, resp.StatusCode, err
+}

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestApplyEdgesCommitsOneEpochPerBatch: a batch of several mutations
+// advances the epoch exactly once, and the returned snapshot already
+// reflects every edge of the batch.
+func TestApplyEdgesCommitsOneEpochPerBatch(t *testing.T) {
+	d := NewDynamic(0, 0)
+	if _, e0, err := d.SnapshotEpoch(); err != nil || e0 != 1 {
+		t.Fatalf("boot snapshot: epoch=%d err=%v", e0, err)
+	}
+	g, e, err := d.ApplyEdges([][2]int32{{0, 1}, {1, 2}, {2, 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 2 {
+		t.Fatalf("batch of 3 adds advanced epoch to %d, want 2", e)
+	}
+	if g.M() != 3 {
+		t.Fatalf("snapshot has m=%d, want 3", g.M())
+	}
+	g, e, err = d.ApplyEdges([][2]int32{{0, 2}}, [][2]int32{{2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 3 || g.M() != 3 {
+		t.Fatalf("mixed batch: epoch=%d m=%d, want 3/3", e, g.M())
+	}
+}
+
+// TestApplyEdgesRejectsWithoutMutating: an invalid batch (unmatched
+// removal or negative id) must leave graph, epoch and pending state
+// untouched — all-or-nothing is what keeps replication streams in
+// lockstep.
+func TestApplyEdgesRejectsWithoutMutating(t *testing.T) {
+	d := NewDynamic(0, 0)
+	if _, _, err := d.ApplyEdges([][2]int32{{0, 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	gBefore, eBefore, _ := d.SnapshotEpoch()
+
+	if _, _, err := d.ApplyEdges([][2]int32{{2, 3}}, [][2]int32{{5, 6}}); err == nil {
+		t.Fatal("unmatched removal must reject the batch")
+	}
+	if _, _, err := d.ApplyEdges([][2]int32{{-1, 0}}, nil); err == nil {
+		t.Fatal("negative id must reject the batch")
+	}
+	if _, _, err := d.ApplyEdges(nil, [][2]int32{{0, -2}}); err == nil {
+		t.Fatal("negative id in removal must reject the batch")
+	}
+	g, e, err := d.SnapshotEpoch()
+	if err != nil {
+		t.Fatalf("source poisoned by rejected batch: %v", err)
+	}
+	if e != eBefore || g != gBefore {
+		t.Fatalf("rejected batch mutated state: epoch %d -> %d", eBefore, e)
+	}
+	// The add from the rejected batch must not linger in the buffer.
+	if g.M() != 1 {
+		t.Fatalf("m=%d after rejected batches, want 1", g.M())
+	}
+}
+
+// TestApplyEdgesRemovalSeesBatchAdds: a removal may match an insertion
+// from the same batch (net effect applied atomically).
+func TestApplyEdgesRemovalSeesBatchAdds(t *testing.T) {
+	d := NewDynamic(3, 0)
+	g, _, err := d.ApplyEdges([][2]int32{{0, 1}, {0, 1}}, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("m=%d, want 1 (two adds, one remove, same batch)", g.M())
+	}
+}
+
+// TestApplyEdgesDeterministicAcrossInstances: two dynamics seeded the same
+// and fed the same batches commit identical (epoch, graph) sequences —
+// the invariant leader→follower replication is built on.
+func TestApplyEdgesDeterministicAcrossInstances(t *testing.T) {
+	batches := []struct{ adds, removes [][2]int32 }{
+		{adds: [][2]int32{{0, 1}, {1, 2}}},
+		{adds: [][2]int32{{2, 3}}, removes: [][2]int32{{0, 1}}},
+		{adds: [][2]int32{{3, 0}, {0, 1}}},
+		{removes: [][2]int32{{1, 2}, {2, 3}}},
+	}
+	a, b := NewDynamic(0, 0), NewDynamic(0, 0)
+	a.SnapshotEpoch()
+	b.SnapshotEpoch()
+	for i, batch := range batches {
+		ga, ea, errA := a.ApplyEdges(batch.adds, batch.removes)
+		gb, eb, errB := b.ApplyEdges(batch.adds, batch.removes)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("batch %d: errors diverge: %v vs %v", i, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if ea != eb {
+			t.Fatalf("batch %d: epochs diverge: %d vs %d", i, ea, eb)
+		}
+		if ga.N() != gb.N() || ga.M() != gb.M() {
+			t.Fatalf("batch %d: graphs diverge: n=%d/%d m=%d/%d", i, ga.N(), gb.N(), ga.M(), gb.M())
+		}
+		edgesA := map[[2]int32]int{}
+		ga.Edges(func(f, to int32) { edgesA[[2]int32{f, to}]++ })
+		gb.Edges(func(f, to int32) {
+			edgesA[[2]int32{f, to}]--
+		})
+		for k, v := range edgesA {
+			if v != 0 {
+				t.Fatalf("batch %d: edge multiset diverges at %v", i, k)
+			}
+		}
+	}
+}
+
+// TestApplyEdgesConcurrentWithSnapshots: concurrent snapshot readers never
+// observe a half-applied batch (epoch advances exactly once per batch even
+// with readers racing the writer).
+func TestApplyEdgesConcurrentWithSnapshots(t *testing.T) {
+	d := NewDynamic(4, 0)
+	d.SnapshotEpoch()
+	const batches = 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g, _, err := d.SnapshotEpoch()
+			if err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+			// Edges only arrive in add+remove pairs below, so a committed
+			// snapshot always holds an even edge count plus the seed edge.
+			if m := g.M(); m%2 != 1 && m != 0 {
+				t.Errorf("observed half-applied batch: m=%d", m)
+				return
+			}
+		}
+	}()
+	if _, _, err := d.ApplyEdges([][2]int32{{0, 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < batches; i++ {
+		if _, _, err := d.ApplyEdges([][2]int32{{1, 2}, {2, 3}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := d.Epoch(); got != uint64(2+batches) {
+		t.Fatalf("epoch=%d after %d batches, want %d", got, batches+1, 2+batches)
+	}
+}

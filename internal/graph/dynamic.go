@@ -140,6 +140,11 @@ func (d *Dynamic) SnapshotEpoch() (*Graph, uint64, error) {
 	if d.snap != nil {
 		return d.snap, d.epoch, nil
 	}
+	return d.rebuildLocked()
+}
+
+// rebuildLocked materializes a fresh snapshot with d.mu held.
+func (d *Dynamic) rebuildLocked() (*Graph, uint64, error) {
 	if len(d.deleted) > 0 {
 		// Validate before mutating: every pending deletion must match an
 		// existing buffered edge. An unmatched deletion fails this one
@@ -192,4 +197,69 @@ func (d *Dynamic) SnapshotEpoch() (*Graph, uint64, error) {
 	d.snap = g
 	d.epoch++
 	return g, d.epoch, nil
+}
+
+// ApplyEdges applies one batch of insertions and removals atomically and
+// materializes the resulting snapshot before returning: the batch commits
+// as exactly one epoch advance, with no concurrent Snapshot observing a
+// half-applied state. This is the replication primitive — a leader and a
+// follower that start from the same graph and apply the same batches in
+// the same order walk through identical (graph, epoch) sequences.
+//
+// Unlike AddEdge/RemoveEdge, validation is eager and all-or-nothing:
+// negative node ids or a removal without a matching edge (counting this
+// batch's insertions, net of deletions already pending) reject the whole
+// batch without mutating anything, so a bad batch can never leave the two
+// sides of a replication stream in different states.
+func (d *Dynamic) ApplyEdges(adds, removes [][2]int32) (*Graph, uint64, error) {
+	for _, e := range adds {
+		if e[0] < 0 || e[1] < 0 {
+			return nil, 0, fmt.Errorf("graph: negative node id (%d, %d)", e[0], e[1])
+		}
+	}
+	for _, e := range removes {
+		if e[0] < 0 || e[1] < 0 {
+			return nil, 0, fmt.Errorf("graph: negative node id (%d, %d)", e[0], e[1])
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(removes) > 0 {
+		need := make(map[[2]int32]int, len(removes))
+		for _, e := range removes {
+			need[e]++
+		}
+		avail := make(map[[2]int32]int, len(need))
+		for i := range d.froms {
+			key := [2]int32{d.froms[i], d.tos[i]}
+			if _, tracked := need[key]; tracked {
+				avail[key]++
+			}
+		}
+		for _, e := range adds {
+			if _, tracked := need[e]; tracked {
+				avail[e]++
+			}
+		}
+		for key, cnt := range need {
+			if avail[key]-d.deleted[key] < cnt {
+				return nil, 0, fmt.Errorf("graph: removing nonexistent edge (%d, %d)", key[0], key[1])
+			}
+		}
+	}
+	for _, e := range adds {
+		d.froms = append(d.froms, e[0])
+		d.tos = append(d.tos, e[1])
+		if e[0] >= d.n {
+			d.n = e[0] + 1
+		}
+		if e[1] >= d.n {
+			d.n = e[1] + 1
+		}
+	}
+	for _, e := range removes {
+		d.deleted[e]++
+	}
+	d.snap = nil
+	return d.rebuildLocked()
 }

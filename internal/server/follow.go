@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// followWait is the long-poll window a follower asks the leader for; the
+// leader responds immediately when a batch commits, so this only bounds
+// how often an idle follower re-issues the poll (heartbeat cadence).
+const followWait = 20 * time.Second
+
+// errDiverged terminates the follow loop: the follower's state can no
+// longer converge to the leader's by replaying the feed (apply failure,
+// epoch mismatch, or a trimmed log). The follower keeps serving reads at
+// its last good epoch but reports 503 from /healthz so routers drop it.
+var errDiverged = errors.New("server: follower diverged from leader")
+
+// StartReplication launches the follower's replication loop; it is a
+// no-op for the other roles. The loop stops when ctx is cancelled.
+func (s *Server) StartReplication(ctx context.Context) {
+	if s.rep.role != RoleFollower {
+		return
+	}
+	go s.followLoop(ctx)
+}
+
+// followLoop long-polls the leader's /v1/replication feed and replays
+// every batch through the same atomic primitive the leader used, keeping
+// the follower's (graph, epoch) sequence identical to the leader's. Feed
+// errors back off and retry — a follower outliving a leader restart keeps
+// serving its last epoch and re-syncs when the feed returns.
+func (s *Server) followLoop(ctx context.Context) {
+	client := &http.Client{} // per-request deadlines below; none globally
+	backoff := time.Duration(0)
+	for ctx.Err() == nil {
+		if backoff > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return
+			}
+		}
+		err := s.pollLeaderOnce(ctx, client)
+		switch {
+		case err == nil:
+			backoff = 0
+		case errors.Is(err, errDiverged):
+			return
+		case ctx.Err() != nil:
+			return
+		default:
+			s.rep.setErr(err)
+			backoff = min(max(2*backoff, 250*time.Millisecond), 5*time.Second)
+		}
+	}
+}
+
+// pollLeaderOnce issues one long-poll against the leader and applies
+// whatever batches it returns.
+func (s *Server) pollLeaderOnce(ctx context.Context, client *http.Client) error {
+	since := s.dyn.Epoch()
+	q := url.Values{}
+	q.Set("since", fmt.Sprint(since))
+	// The first poll must not park: until a response arrives the follower
+	// doesn't know the leader's epoch, so it can't tell "caught up" from
+	// "behind" and /healthz would sit at catching_up for a full long-poll
+	// window on an idle leader. Ask for an immediate answer once, then
+	// settle into long-polling.
+	if s.rep.synced.Load() || s.rep.syncTarget.Load() > 0 {
+		q.Set("wait", followWait.String())
+	} else {
+		q.Set("wait", "0")
+	}
+	rctx, cancel := context.WithTimeout(ctx, followWait+10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet,
+		s.rep.leaderURL+"/v1/replication?"+q.Encode(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("polling leader: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusGone {
+		err := fmt.Errorf("leader trimmed the replication log past epoch %d; restart this follower from the leader's base graph", since)
+		s.rep.setErr(err)
+		s.rep.diverged.Store(true)
+		return errDiverged
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("polling leader: status %d", resp.StatusCode)
+	}
+	var feed replicationResponse
+	if err := json.NewDecoder(resp.Body).Decode(&feed); err != nil {
+		return fmt.Errorf("decoding replication feed: %w", err)
+	}
+
+	s.rep.leaderEpoch.Raise(feed.LeaderEpoch)
+	// The leader's epoch at subscribe time is the readiness bar: /healthz
+	// answers catching_up until the follower has replayed up to it.
+	s.rep.syncTarget.Raise(max(feed.LeaderEpoch, 1))
+
+	for _, e := range feed.Entries {
+		if e.Epoch <= s.dyn.Epoch() {
+			continue // already applied (duplicate delivery is harmless)
+		}
+		_, epoch, err := s.dyn.ApplyEdges(e.Add, e.Remove)
+		if err != nil {
+			s.rep.setErr(fmt.Errorf("applying batch for epoch %d: %w", e.Epoch, err))
+			s.rep.diverged.Store(true)
+			return errDiverged
+		}
+		if epoch != e.Epoch {
+			s.rep.setErr(fmt.Errorf("epoch diverged: batch committed locally at %d, leader committed it at %d", epoch, e.Epoch))
+			s.rep.diverged.Store(true)
+			return errDiverged
+		}
+		s.noteEpoch(epoch)
+	}
+	if !s.rep.synced.Load() && s.dyn.Epoch() >= s.rep.syncTarget.Load() {
+		s.rep.synced.Store(true)
+	}
+	return nil
+}

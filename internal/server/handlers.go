@@ -615,6 +615,34 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	switch s.rep.role {
+	case RoleFollower:
+		// Mutations flow leader → follower only; accepting a direct write
+		// here would fork the follower's epoch sequence off the leader's.
+		s.writeError(w, httpErrf(http.StatusConflict, "not_leader",
+			"this replica is a follower; send mutations to the leader at %s", s.rep.leaderURL))
+		return
+	case RoleLeader:
+		// Leader mutations are atomic (all-or-nothing, exactly one epoch
+		// advance per request) and recorded in the replication log.
+		pairs := make([][2]int32, len(edges))
+		for i, e := range edges {
+			pairs[i] = [2]int32{e.From, e.To}
+		}
+		var adds, removes [][2]int32
+		if r.Method == http.MethodPost {
+			adds = pairs
+		} else {
+			removes = pairs
+		}
+		epoch, err := s.applyLeaderBatch(adds, removes)
+		if err != nil {
+			s.writeError(w, httpErrf(http.StatusBadRequest, "bad_edge", "%v (batch rejected, nothing applied)", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"applied": len(edges), "epoch": epoch})
+		return
+	}
 	applied := 0
 	for _, e := range edges {
 		if r.Method == http.MethodPost {

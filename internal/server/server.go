@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -71,6 +73,23 @@ type Config struct {
 	// RetryAfter is the value of the Retry-After header on 429 responses,
 	// in seconds (default 1).
 	RetryAfter int
+
+	// Role places the server in a replicated cluster: RoleLeader serves
+	// the mutation feed at /v1/replication, RoleFollower replays one (see
+	// LeaderURL) and rejects direct writes. The default, RoleStandalone,
+	// is the single-process mode with no replication endpoints. Both
+	// replicated roles require a *DynamicGraph source.
+	Role Role
+
+	// LeaderURL is the base URL of the leader's HTTP API (required when
+	// Role is RoleFollower, ignored otherwise).
+	LeaderURL string
+
+	// ReplicationLog bounds the leader's in-memory mutation log, in
+	// batches (default 1024). A follower further behind than the retained
+	// window cannot catch up incrementally and must restart from the
+	// leader's base graph.
+	ReplicationLog int
 }
 
 // A cached single-source row is a dense length-n []float64 (~8n bytes),
@@ -118,6 +137,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 1
 	}
+	if c.Role == "" {
+		c.Role = RoleStandalone
+	}
+	if c.ReplicationLog <= 0 {
+		c.ReplicationLog = 1024
+	}
 	return c
 }
 
@@ -133,6 +158,8 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	start    time.Time
+	rep      replication
+	mutMu    sync.Mutex // leader: keeps log append order = epoch order
 
 	requests  atomic.Uint64
 	errors    atomic.Uint64 // responses with status >= 400
@@ -147,13 +174,14 @@ const (
 	kPair
 	kBatch
 	kEdges
+	kReplication
 	kHealth
 	kStats
 	kindCount
 )
 
 var kindNames = [kindCount]string{
-	"single-source", "topk", "pair", "batch", "edges", "healthz", "statsz",
+	"single-source", "topk", "pair", "batch", "edges", "replication", "healthz", "statsz",
 }
 
 // New builds a Server around an existing Client. If the client's graph
@@ -178,11 +206,38 @@ func New(cfg Config) (*Server, error) {
 	if dyn, ok := cfg.Client.Source().(*simpush.DynamicGraph); ok {
 		s.dyn = dyn
 	}
+	if err := validateRole(cfg.Role); err != nil {
+		return nil, err
+	}
+	s.rep.role = cfg.Role
+	if cfg.Role == RoleLeader || cfg.Role == RoleFollower {
+		if s.dyn == nil {
+			return nil, fmt.Errorf("server: role %s requires a *DynamicGraph source", cfg.Role)
+		}
+		// Commit the base graph before serving: both sides of a
+		// replication stream must start from epoch 1 = the loaded graph,
+		// so mutation batches map 1:1 onto epochs 2, 3, ... on each.
+		if _, epoch, err := s.dyn.SnapshotEpoch(); err != nil {
+			return nil, fmt.Errorf("server: committing base snapshot: %w", err)
+		} else {
+			s.lastEpoch.Store(epoch)
+		}
+	}
+	switch cfg.Role {
+	case RoleLeader:
+		s.rep.log = newRepLog(cfg.ReplicationLog)
+	case RoleFollower:
+		if cfg.LeaderURL == "" {
+			return nil, fmt.Errorf("server: role follower requires LeaderURL")
+		}
+		s.rep.leaderURL = strings.TrimRight(cfg.LeaderURL, "/")
+	}
 	s.mux.HandleFunc("/v1/single-source", s.count(kSingleSource, s.handleSingleSource))
 	s.mux.HandleFunc("/v1/topk", s.count(kTopK, s.handleTopK))
 	s.mux.HandleFunc("/v1/pair", s.count(kPair, s.handlePair))
 	s.mux.HandleFunc("/v1/batch", s.count(kBatch, s.handleBatch))
 	s.mux.HandleFunc("/v1/edges", s.count(kEdges, s.handleEdges))
+	s.mux.HandleFunc("/v1/replication", s.count(kReplication, s.handleReplication))
 	s.mux.HandleFunc("/healthz", s.count(kHealth, s.handleHealthz))
 	s.mux.HandleFunc("/statsz", s.count(kStats, s.handleStatsz))
 	return s, nil
@@ -262,6 +317,7 @@ type StatsSnapshot struct {
 	Cache         cache.Stats       `json:"cache"`
 	Admission     AdmissionStats    `json:"admission"`
 	Client        ClientStats       `json:"client"`
+	Replication   *ReplicationStats `json:"replication,omitempty"`
 }
 
 // AdmissionStats describes the admission controller's current state.
@@ -299,7 +355,8 @@ func (s *Server) Stats() StatsSnapshot {
 			QueueDepth:  s.adm.queueDepth(),
 			Rejected:    s.adm.rejected.Load(),
 		},
-		Client: ClientStats{Queries: cs.Queries, Errors: cs.Errors, InFlight: cs.InFlight},
+		Client:      ClientStats{Queries: cs.Queries, Errors: cs.Errors, InFlight: cs.InFlight},
+		Replication: s.replicationStats(),
 	}
 	if g != nil {
 		snap.GraphN = g.N()
@@ -320,6 +377,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
+	if s.rep.role == RoleFollower {
+		if s.rep.diverged.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "diverged", "error": s.rep.lastError(),
+			})
+			return
+		}
+		// A follower is not ready until it has replayed up to the leader's
+		// epoch at subscribe time — routers must never see a cold follower
+		// as healthy and send it traffic that expects the leader's state.
+		if !s.rep.synced.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status":        "catching_up",
+				"applied_epoch": s.dyn.Epoch(),
+				"target_epoch":  s.rep.syncTarget.Load(),
+			})
+			return
+		}
+	}
 	epoch, err := s.client.Epoch()
 	if err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
@@ -327,7 +403,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": epoch})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": epoch, "role": s.role()})
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
