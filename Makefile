@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-json serve smoke cluster-smoke cluster-bench
+.PHONY: all build test race vet lint fmt check bench bench-json serve smoke cluster-smoke cluster-bench
 
 all: check
 
@@ -8,13 +8,20 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariant checks (epoch-keyed caching, deterministic
+# merges, ctx cancellation, lock scope). Runs simlint through the vet
+# driver so test files are covered too; see docs/static-analysis.md.
+lint:
+	$(GO) build -o bin/simlint ./cmd/simlint
+	$(GO) vet -vettool=$(CURDIR)/bin/simlint ./...
 
 # Fails if any file is not gofmt-formatted.
 fmt:
@@ -23,7 +30,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet race
+check: fmt vet lint race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -1,0 +1,79 @@
+// Command simlint runs the repo's static-analysis suite (internal/lint):
+// epochkey, detmerge, ctxflow, lockscope — the machine-checked forms of
+// the epoch-keyed-cache, bit-identical-determinism, cancellation, and
+// lock-scope invariants.
+//
+// Two modes:
+//
+//	simlint [packages]        standalone: load, check, print, exit 1 on findings
+//	go vet -vettool=simlint   unitchecker: invoked per package by the go tool
+//
+// Standalone mode defaults to ./... relative to the current directory.
+// Intentional violations are annotated in the source with
+// "//lint:allow <analyzer> <reason>"; stale or malformed allows are
+// themselves findings.
+//
+// Exit codes: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/simrank/simpush/internal/lint"
+)
+
+func main() {
+	// go vet handshake: version probe, flag discovery, and per-package
+	// .cfg invocations.
+	if len(os.Args) >= 2 {
+		switch {
+		case strings.HasPrefix(os.Args[1], "-V"):
+			fmt.Println("simlint version v1 (epochkey,detmerge,ctxflow,lockscope)")
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]") // no forwardable flags
+			return
+		case strings.HasSuffix(os.Args[len(os.Args)-1], ".cfg"):
+			os.Exit(lint.RunVet(os.Args[len(os.Args)-1]))
+		}
+	}
+
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Check(pkg, lint.Analyzers()) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

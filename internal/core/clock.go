@@ -1,0 +1,13 @@
+package core
+
+import "time"
+
+// stageNow is the engine's only wall-clock read. Stage timings feed
+// Result.Durations — observability surfaced in /statsz and simbench —
+// and never influence scores, sampling, or control flow, so they are
+// compatible with the fixed-(seed, parallelism) determinism contract.
+// Confining the read here keeps detmerge's no-wall-clock rule meaningful
+// for the rest of the package: any other time.Now is a real violation.
+func stageNow() time.Time {
+	return time.Now() //lint:allow detmerge stage-duration observability only; the value never reaches scores or control flow
+}

@@ -253,12 +253,12 @@ func (sp *SimPush) QueryCtx(ctx context.Context, u int32, qo QueryOpts) (*Result
 	}
 	qs := &queryState{u: u, opt: opt, p: p}
 
-	t0 := time.Now()
+	t0 := stageNow()
 	if err := sp.sourcePush(ctx, qs); err != nil { // Algorithm 2
 		sp.resetSlots(qs)
 		return nil, err
 	}
-	t1 := time.Now()
+	t1 := stageNow()
 
 	if opt.DisableGamma {
 		for i := range qs.att {
@@ -274,14 +274,14 @@ func (sp *SimPush) QueryCtx(ctx context.Context, u int32, qo QueryOpts) (*Result
 			return nil, err
 		}
 	}
-	t2 := time.Now()
+	t2 := stageNow()
 
 	scores := make([]float64, sp.g.N())
 	if err := sp.reversePush(ctx, qs, scores); err != nil { // Algorithm 5
 		sp.resetSlots(qs)
 		return nil, err
 	}
-	t3 := time.Now()
+	t3 := stageNow()
 
 	res := &Result{
 		Scores: scores,

@@ -140,6 +140,14 @@ func fromEdges(n int32, froms, tos []int32) (*Graph, error) {
 	if n < 0 {
 		return nil, errors.New("graph: negative node count")
 	}
+	// Ids must fit in [0, n). The builder normally guarantees this, but
+	// id MaxInt32 overflows its n = id+1 bookkeeping, so check here
+	// rather than index out of range below.
+	for i := range froms {
+		if froms[i] < 0 || froms[i] >= n || tos[i] < 0 || tos[i] >= n {
+			return nil, fmt.Errorf("graph: edge (%d, %d) outside node range [0, %d)", froms[i], tos[i], n)
+		}
+	}
 	g := &Graph{n: n}
 	m := len(froms)
 	g.outOff = make([]int64, n+1)

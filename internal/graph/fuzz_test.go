@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
@@ -69,6 +70,65 @@ func FuzzReadBinary(f *testing.F) {
 				t.Fatalf("edge (%d,%d) out of range", from, to)
 			}
 		})
+	})
+}
+
+// FuzzFromEdges hardens the CSR builder pipeline (AddEdge → normalize →
+// fromEdges) against arbitrary edge streams and option combinations. The
+// raw bytes decode into (from, to) int32 pairs, so the fuzzer reaches
+// negative ids, id overflow near MaxInt32, self loops, and duplicates.
+// Any accepted graph must satisfy the CSR invariants the engines rely on:
+// degree sums equal to m and every adjacency entry in range.
+func FuzzFromEdges(f *testing.F) {
+	pack := func(pairs ...[2]int32) []byte {
+		buf := make([]byte, 0, 8*len(pairs))
+		for _, p := range pairs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(p[0]))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(p[1]))
+		}
+		return buf
+	}
+	f.Add(pack([2]int32{0, 1}, [2]int32{1, 2}, [2]int32{2, 0}), false, false, false)
+	f.Add(pack([2]int32{3, 3}, [2]int32{3, 3}, [2]int32{0, 3}), true, true, true)
+	f.Add(pack([2]int32{-1, 2}), false, false, false)
+	f.Add(pack([2]int32{1<<31 - 1, 0}), false, false, true)
+	f.Fuzz(func(t *testing.T, data []byte, undirected, dropLoops, dedup bool) {
+		n := len(data) / 8
+		froms := make([]int32, n)
+		tos := make([]int32, n)
+		for i := 0; i < n; i++ {
+			froms[i] = int32(binary.LittleEndian.Uint32(data[8*i:]))
+			tos[i] = int32(binary.LittleEndian.Uint32(data[8*i+4:]))
+		}
+		g, err := FromEdgeList(froms, tos, BuildOptions{
+			Undirected:    undirected,
+			DropSelfLoops: dropLoops,
+			Dedup:         dedup,
+		})
+		if err != nil {
+			return
+		}
+		var sumIn, sumOut int64
+		for v := int32(0); v < g.N(); v++ {
+			sumIn += int64(g.InDeg(v))
+			sumOut += int64(g.OutDeg(v))
+		}
+		if sumIn != g.M() || sumOut != g.M() {
+			t.Fatalf("degree sums %d/%d != m %d", sumIn, sumOut, g.M())
+		}
+		edges := int64(0)
+		g.Edges(func(from, to int32) {
+			edges++
+			if !g.HasNode(from) || !g.HasNode(to) {
+				t.Fatalf("edge (%d,%d) out of range (n=%d)", from, to, g.N())
+			}
+			if dropLoops && from == to {
+				t.Fatalf("self loop (%d,%d) survived DropSelfLoops", from, to)
+			}
+		})
+		if edges != g.M() {
+			t.Fatalf("Edges visited %d edges, m = %d", edges, g.M())
+		}
 	})
 }
 

@@ -1,0 +1,68 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/simrank/simpush/internal/lint"
+	"github.com/simrank/simpush/internal/lint/linttest"
+)
+
+// The fixture packages impersonate repo packages via their import path:
+// analyzers scope themselves by path suffix, so a fixture type-checked as
+// internal/core is inside detmerge's jurisdiction without living there.
+const (
+	asServing = "github.com/simrank/simpush/internal/server"
+	asEngine  = "github.com/simrank/simpush/internal/core"
+)
+
+func TestEpochKeyFixture(t *testing.T) {
+	linttest.Run(t, []*lint.Analyzer{lint.EpochKey}, "testdata/epochkey", asServing)
+}
+
+func TestDetMergeFixture(t *testing.T) {
+	linttest.Run(t, []*lint.Analyzer{lint.DetMerge}, "testdata/detmerge", asEngine)
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	linttest.Run(t, []*lint.Analyzer{lint.CtxFlow}, "testdata/ctxflow", asServing)
+}
+
+func TestLockScopeFixture(t *testing.T) {
+	linttest.Run(t, []*lint.Analyzer{lint.LockScope}, "testdata/lockscope", asServing)
+}
+
+// TestDetMergeOutOfScope proves the package filter: the same fixture that
+// produces detmerge findings as internal/core is silent when it loads as
+// a serving-side package — baselines and handlers may use maps and
+// clocks freely.
+func TestDetMergeOutOfScope(t *testing.T) {
+	pkg, err := lint.LoadFixture("testdata/detmerge", asServing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.Check(pkg, []*lint.Analyzer{lint.DetMerge}); len(diags) != 0 {
+		t.Fatalf("detmerge ran outside its packages: %v", diags)
+	}
+}
+
+// TestTreeIsClean is the in-test form of `make lint`: the repo's own
+// source must stay free of findings (modulo checked allows). A failure
+// here means a PR reintroduced an invariant violation.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := lint.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, d := range lint.Check(pkg, lint.Analyzers()) {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed //lint:allow comment. It suppresses
+// diagnostics of the named analyzer on its own line and on the line
+// directly below (so it works both as a trailing comment and as a
+// standalone comment above the offending statement).
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseDirectives extracts every //lint:allow directive from the
+// package's comments.
+func parseDirectives(pkg *Package) []*directive {
+	var ds []*directive
+	for _, f := range pkg.Syntax {
+		if isTestFile(pkg.Fset, f) {
+			// Analyzers skip test files, so allows there could only ever
+			// be stale; ignore them entirely.
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				ds = append(ds, &directive{
+					pos:      pkg.Fset.Position(c.Pos()),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// applyDirectives filters raw findings through the package's //lint:allow
+// directives and appends directive errors: unknown analyzer names, missing
+// reasons, and stale allows that suppress nothing. known holds the valid
+// analyzer names.
+func applyDirectives(pkg *Package, raw []Diagnostic, known map[string]bool) []Diagnostic {
+	ds := parseDirectives(pkg)
+	var out []Diagnostic
+	for _, d := range raw {
+		suppressed := false
+		for _, dir := range ds {
+			if dir.analyzer != d.Analyzer || dir.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+				// Malformed directives never suppress; they are reported
+				// below instead.
+				if known[dir.analyzer] && dir.reason != "" {
+					dir.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range ds {
+		switch {
+		case !known[dir.analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: "allow",
+				Pos:      dir.pos,
+				Message:  "lint:allow names unknown analyzer " + quoteName(dir.analyzer),
+			})
+		case dir.reason == "":
+			out = append(out, Diagnostic{
+				Analyzer: "allow",
+				Pos:      dir.pos,
+				Message:  "lint:allow " + dir.analyzer + " is missing a reason",
+			})
+		case !dir.used:
+			out = append(out, Diagnostic{
+				Analyzer: "allow",
+				Pos:      dir.pos,
+				Message:  "stale lint:allow: no " + dir.analyzer + " finding on this or the next line; remove the directive",
+			})
+		}
+	}
+	return out
+}
+
+// quoteName quotes a possibly-empty name for a diagnostic message.
+func quoteName(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return "\"" + s + "\""
+}

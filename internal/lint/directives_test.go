@@ -1,0 +1,72 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/simrank/simpush/internal/lint"
+)
+
+// TestAllowDirectives exercises the full //lint:allow contract on
+// testdata/allow: valid allows suppress exactly their analyzer's finding
+// on their line (trailing or standalone-above), and every degenerate
+// directive — stale, unknown analyzer, missing reason, wrong analyzer —
+// is itself reported. The expectations live here rather than in want
+// comments because the directives under test would swallow same-line
+// markers.
+func TestAllowDirectives(t *testing.T) {
+	pkg, err := lint.LoadFixture("testdata/allow", "github.com/simrank/simpush/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Check(pkg, lint.Analyzers())
+
+	type want struct {
+		analyzer string
+		contains string
+	}
+	wants := []want{
+		// var one: a detmerge allow with nothing to suppress.
+		{"allow", "stale lint:allow"},
+		// var two: unknown analyzer name.
+		{"allow", `unknown analyzer "typosquat"`},
+		// bare(): the malformed (reasonless) allow does not suppress...
+		{"detmerge", "time.Now"},
+		// ...and is reported itself.
+		{"allow", "missing a reason"},
+		// mismatched(): wrong analyzer does not suppress...
+		{"detmerge", "time.Now"},
+		// ...and counts as stale for its own analyzer.
+		{"allow", "stale lint:allow"},
+	}
+
+	if len(diags) != len(wants) {
+		t.Errorf("got %d diagnostics, want %d:", len(diags), len(wants))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+	used := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if used[i] || d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.contains) {
+				continue
+			}
+			used[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("missing %s diagnostic containing %q", w.analyzer, w.contains)
+		}
+	}
+
+	// The two valid allows must have suppressed their findings: no
+	// diagnostic may point at stamped or stampedAbove (lines 10-18).
+	for _, d := range diags {
+		if d.Pos.Line <= 18 {
+			t.Errorf("diagnostic on a suppressed line: %s", d)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// isTestFile reports whether the file node comes from a _test.go file.
+// Analyzers skip test files: the guarded invariants are production
+// properties, and tests legitimately use maps, fixed epochs, and ad-hoc
+// goroutine collection.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// pkgNameOf returns the imported package if id is a package qualifier
+// (e.g. the "rand" in rand.Intn), or nil.
+func pkgNameOf(info *types.Info, id *ast.Ident) *types.Package {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported()
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. "time".Now).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	p := pkgNameOf(info, id)
+	return p != nil && p.Path() == pkgPath
+}
+
+// methodOn returns the receiver's named type if call is a method call
+// whose defining package path ends with pkgSuffix, or nil.
+func methodRecvNamed(info *types.Info, call *ast.CallExpr) (*types.Named, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, ""
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return named, sel.Sel.Name
+}
+
+// namedIs reports whether n is the named type pkgPath.name (pkgPath may
+// be a suffix, so module-qualified internal paths match).
+func namedIs(n *types.Named, pkgSuffix, name string) bool {
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(n.Obj().Pkg().Path(), pkgSuffix) && n.Obj().Name() == name
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// containsFloat reports whether t is a float, a slice/array of floats, or
+// a map whose values (recursively) contain floats — the shapes a score
+// container takes.
+func containsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Slice:
+		return containsFloat(u.Elem())
+	case *types.Array:
+		return containsFloat(u.Elem())
+	case *types.Map:
+		return containsFloat(u.Elem())
+	case *types.Pointer:
+		return containsFloat(u.Elem())
+	}
+	return false
+}
+
+// isMap reports whether t's underlying type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// mentionsEpoch reports whether any identifier or selector inside e has a
+// name containing "epoch" (case-insensitive) — the flow heuristic behind
+// epochkey: a key expression is epoch-bearing when something named after
+// the epoch feeds it.
+func mentionsEpoch(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if strings.Contains(strings.ToLower(id.Name), "epoch") {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// localAssignment finds the last assignment or declaration of the
+// variable obj lexically before pos within body, returning its RHS
+// expression, or nil.
+func localAssignment(info *types.Info, body *ast.BlockStmt, obj types.Object, pos token.Pos) ast.Expr {
+	var rhs ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Pos() >= pos {
+				return false
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if info.Defs[id] == obj || info.Uses[id] == obj {
+					if i < len(st.Rhs) {
+						rhs = st.Rhs[i]
+					} else if len(st.Rhs) == 1 {
+						rhs = st.Rhs[0]
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if st.Pos() >= pos {
+				return false
+			}
+			for i, id := range st.Names {
+				if info.Defs[id] == obj {
+					if i < len(st.Values) {
+						rhs = st.Values[i]
+					}
+				}
+			}
+		}
+		return true
+	})
+	return rhs
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal in file that contains pos.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				body = fn.Body
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		return true
+	})
+	return body
+}

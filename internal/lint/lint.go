@@ -1,0 +1,162 @@
+// Package lint is the repo's static-analysis suite: four analyzers that
+// machine-check the invariants the realtime contract depends on but the
+// compiler cannot see.
+//
+//   - epochkey: every serving-cache key must flow from a graph epoch, and
+//     score caches must not grow outside internal/cache (the epoch-in-key
+//     design is what makes mutation safe without an invalidation protocol);
+//   - detmerge: the deterministic engine packages must not iterate maps
+//     into score accumulation, draw from ambient randomness or wall clocks,
+//     or collect goroutine results in scheduling order — fixed (seed, k)
+//     must stay bit-identical, the property replication correctness and
+//     the race suite assert;
+//   - ctxflow: exported functions that accept a context must actually let
+//     it interrupt their loops;
+//   - lockscope: no network round-trips or graph commits while holding a
+//     mutex — the deadlock shape long-polling replication must avoid.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf) but is built on the standard library alone:
+// packages load through `go list -export` and type-check against compiler
+// export data, so the suite runs in the same offline, zero-dependency
+// environment as the rest of the module. Swapping to the real
+// multichecker later is a mechanical change.
+//
+// Intentional violations are annotated in the source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on (or immediately above) the offending line. Allows are themselves
+// checked: an allow that suppresses nothing, names an unknown analyzer,
+// or omits the reason is reported as an error, so stale suppressions
+// cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant it guards.
+	Doc string
+
+	// PackageSuffixes, when non-empty, restricts the analyzer to packages
+	// whose import path ends with one of the suffixes. Empty = all
+	// packages.
+	PackageSuffixes []string
+
+	// SkipPackageSuffixes excludes packages (checked before
+	// PackageSuffixes; used by epochkey to exempt internal/cache itself).
+	SkipPackageSuffixes []string
+
+	// Run performs the check and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// appliesTo reports whether the analyzer should run on the package with
+// the given import path.
+func (a *Analyzer) appliesTo(path string) bool {
+	for _, s := range a.SkipPackageSuffixes {
+		if strings.HasSuffix(path, s) {
+			return false
+		}
+	}
+	if len(a.PackageSuffixes) == 0 {
+		return true
+	}
+	for _, s := range a.PackageSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// A Diagnostic is one finding, positioned in the source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{EpochKey, DetMerge, CtxFlow, LockScope}
+}
+
+// Check runs every applicable analyzer over pkg, applies the package's
+// //lint:allow directives, and returns the surviving diagnostics: unsuppressed
+// findings plus directive errors (stale allow, unknown analyzer, missing
+// reason). The result is sorted by position.
+func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if !a.appliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Syntax,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report:   func(d Diagnostic) { raw = append(raw, d) },
+		}
+		a.Run(pass)
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	out := applyDirectives(pkg, raw, known)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}

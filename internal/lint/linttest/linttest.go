@@ -1,0 +1,108 @@
+// Package linttest runs internal/lint analyzers over fixture packages and
+// compares their findings against expectations embedded in the fixtures —
+// the same contract as golang.org/x/tools/go/analysis/analysistest, built
+// on the standard library.
+//
+// A fixture is a directory of .go files. Expected findings are trailing
+// comments of the form
+//
+//	code // want "regexp"
+//	code // want "first" "second"
+//
+// where each quoted string is a regular expression that must match the
+// message of a diagnostic reported on that line. Every reported
+// diagnostic must be expected and every expectation must be matched,
+// otherwise the test fails with a position-by-position account.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/simrank/simpush/internal/lint"
+)
+
+// expectation is one want-regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE pulls the quoted regexps off a `// want "..." "..."` comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run checks the fixture in dir, type-checked under import path asPath,
+// against the given analyzers. asPath decides which analyzers consider
+// the package in scope (e.g. a detmerge fixture impersonates
+// "github.com/simrank/simpush/internal/core").
+func Run(t *testing.T, analyzers []*lint.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := lint.LoadFixture(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	expects := collectExpectations(t, pkg)
+	diags := lint.Check(pkg, analyzers)
+
+	for _, d := range diags {
+		if !consume(expects, d) {
+			t.Errorf("%s: unexpected diagnostic:\n  %s: %s", shortPos(d), d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.used {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectExpectations scans every fixture file for want comments.
+func collectExpectations(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "// want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(c.Text, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range matches {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// consume marks the first matching unused expectation for d.
+func consume(expects []*expectation, d lint.Diagnostic) bool {
+	for _, e := range expects {
+		if e.used || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(d.Message) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// shortPos renders a diagnostic position for failure messages.
+func shortPos(d lint.Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column)
+}

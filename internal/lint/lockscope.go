@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockScope guards against slow or re-entrant work under a mutex: an HTTP
+// round-trip, a net.Dial, or a graph commit (ApplyEdges) made while
+// holding a sync.Mutex/RWMutex. The cluster tier makes this shape a real
+// deadlock, not a style nit — the replication feed long-polls with the
+// commit path on the other end, so a leader that commits (or a prober
+// that probes) while holding a lock the serving path needs can wedge the
+// whole replica set. PR 6's prober and repLog were written to release
+// locks around every round-trip; this keeps them that way.
+//
+// The analysis is intra-procedural and source-ordered: Lock()/RLock()
+// marks the receiver held, Unlock()/RUnlock() releases it, a deferred
+// unlock holds it to function end. Function literals start with a clean
+// slate (goroutines and handlers do not inherit the creator's locks).
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no network round-trips or graph commits while holding a mutex",
+	Run:  runLockScope,
+}
+
+func runLockScope(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLockedCalls(pass, fd.Body)
+			}
+		}
+	}
+}
+
+// checkLockedCalls walks one function body in source order, tracking the
+// set of held mutexes and flagging slow calls made while any is held.
+// Nested function literals are analyzed independently.
+func checkLockedCalls(pass *Pass, body *ast.BlockStmt) {
+	held := map[string]bool{}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			checkLockedCalls(pass, n.Body)
+			return
+		case *ast.DeferStmt:
+			if recv, op, ok := mutexOp(pass, n.Call); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = true
+				}
+				// A deferred unlock runs at return: the lock stays held
+				// for the remainder of the source text, so nothing to do.
+				_ = recv
+				return
+			}
+			walk(n.Call)
+			return
+		case *ast.CallExpr:
+			if recv, op, ok := mutexOp(pass, n); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = true
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				return
+			}
+			if len(held) > 0 {
+				if what := slowCall(pass, n); what != "" {
+					pass.Reportf(n.Pos(),
+						"%s while holding %s: release the lock before network or commit work — a blocked round-trip under a lock wedges every path that needs it (long-poll deadlock shape)", what, heldNames(held))
+				}
+			}
+		}
+		// Recurse in source order through all children.
+		children(n, walk)
+	}
+	for _, st := range body.List {
+		walk(st)
+	}
+}
+
+// children invokes walk on each direct child of n, in source order.
+func children(n ast.Node, walk func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			walk(m)
+		}
+		return false
+	})
+}
+
+// mutexOp reports whether call is a Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the canonical receiver text.
+func mutexOp(pass *Pass, call *ast.CallExpr) (recv, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s, isMethod := pass.Info.Selections[sel]
+	if !isMethod {
+		return "", "", false
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+// slowCall classifies calls that must not run under a lock, returning a
+// human-readable description or "".
+func slowCall(pass *Pass, call *ast.CallExpr) string {
+	// Package-level net/http and net dialers.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if p := pkgNameOf(pass.Info, id); p != nil {
+				switch {
+				case p.Path() == "net/http":
+					switch sel.Sel.Name {
+					case "Get", "Head", "Post", "PostForm":
+						return "http." + sel.Sel.Name
+					}
+				case p.Path() == "net" && strings.HasPrefix(sel.Sel.Name, "Dial"):
+					return "net." + sel.Sel.Name
+				}
+			}
+		}
+	}
+	// Methods: *http.Client round-trips and graph commits.
+	named, method := methodRecvNamed(pass.Info, call)
+	if named != nil {
+		if namedIs(named, "net/http", "Client") {
+			switch method {
+			case "Do", "Get", "Head", "Post", "PostForm":
+				return "(*http.Client)." + method
+			}
+		}
+		if method == "ApplyEdges" {
+			return named.Obj().Name() + ".ApplyEdges"
+		}
+	}
+	return ""
+}
+
+// heldNames renders the held-lock set deterministically.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	// Small set; insertion sort keeps the message stable.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}

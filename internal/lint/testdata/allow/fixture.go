@@ -1,0 +1,36 @@
+// Fixture for //lint:allow directive handling, type-checked as a
+// deterministic package so detmerge findings are available to suppress.
+// Expectations live in directives_test.go rather than want comments: the
+// directives under test would swallow same-line want markers.
+package fixture
+
+import "time"
+
+// Suppressed: a valid same-line allow.
+func stamped() int64 {
+	return time.Now().UnixNano() //lint:allow detmerge fixture observability helper
+}
+
+// Suppressed: a valid allow on the line directly above.
+func stampedAbove() int64 {
+	//lint:allow detmerge fixture observability helper
+	return time.Now().UnixNano()
+}
+
+// Stale: there is nothing to suppress on this line or the next.
+var one = 1 //lint:allow detmerge nothing here to forgive
+
+// Unknown analyzer name.
+var two = 2 //lint:allow typosquat reasons do not save a bad name
+
+// Missing reason: malformed, and therefore also fails to suppress the
+// finding on its line.
+func bare() int64 {
+	return time.Now().UnixNano() //lint:allow detmerge
+}
+
+// Wrong analyzer: an allow for one analyzer never suppresses another's
+// finding — and is itself stale when its own analyzer stays quiet.
+func mismatched() int64 {
+	return time.Now().UnixNano() //lint:allow epochkey this finding is detmerge's, not epochkey's
+}

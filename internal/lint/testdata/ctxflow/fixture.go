@@ -1,0 +1,100 @@
+// Fixture for the ctxflow analyzer: exported functions that accept a
+// context must let it interrupt their loops, at least once per batch.
+package fixture
+
+import "context"
+
+func work(int) {}
+
+func process(ctx context.Context, x int) {}
+
+// True positive: the loop runs to completion no matter what the caller's
+// context says.
+func Uninterruptible(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want "never observes it"
+		work(i)
+	}
+}
+
+// True positive: methods on exported types are part of the API too.
+type Engine struct{}
+
+func (Engine) Run(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want "never observes it"
+		work(i)
+	}
+}
+
+// Correct negative: a per-iteration ctx.Err() check.
+func Interruptible(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(i)
+	}
+	return nil
+}
+
+// Correct negative: the outer loop checks per batch, which covers the
+// inner loop — the repo's documented cancellation granularity.
+func Batched(ctx context.Context, batches [][]int) error {
+	for _, b := range batches {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, x := range b {
+			work(x)
+		}
+	}
+	return nil
+}
+
+// Correct negative: passing ctx to the callee delegates the check.
+func Delegates(ctx context.Context, items []int) {
+	for _, it := range items {
+		process(ctx, it)
+	}
+}
+
+// Correct negative: option application — a range over a slice of
+// functions is configuration, not work.
+type Option func(*config)
+
+type config struct{ eps float64 }
+
+func Configure(ctx context.Context, opts ...Option) *config {
+	c := &config{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Correct negative: straight-line arithmetic cannot block; builtins and
+// conversions don't count as calls.
+func Sum(ctx context.Context, xs []float64) float64 {
+	var s float64
+	for i, x := range xs {
+		s += x * float64(len(xs)-i)
+	}
+	return s
+}
+
+// Correct negative: unexported functions are internal plumbing, checked
+// through their exported callers.
+func churn(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+}
+
+// Correct negative: an exported method on an unexported type is not
+// reachable API.
+type engine struct{}
+
+func (engine) Run(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+}

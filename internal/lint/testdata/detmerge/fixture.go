@@ -1,0 +1,98 @@
+// Fixture for the detmerge analyzer: no map-order score merges, no
+// ambient nondeterminism, no scheduling-ordered goroutine collection in
+// the deterministic engine packages.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// True positive: float accumulation in map-iteration order — the
+// reduction differs run to run by rounding.
+func mapMerge(parts map[int32]float64, out []float64) {
+	for v, s := range parts { // want "range over map feeds score accumulation"
+		out[v] += s
+	}
+}
+
+// True positive: the x = x + y accumulation shape counts too.
+func mapMergeAssign(parts map[int32]float64, total float64) float64 {
+	for _, s := range parts { // want "range over map feeds score accumulation"
+		total = total + s
+	}
+	return total
+}
+
+// Correct negative: collecting keys is order-insensitive once sorted
+// before the float reduction — the canonical fix.
+func orderedMerge(parts map[int32]float64, out []float64) {
+	keys := make([]int32, 0, len(parts))
+	for v := range parts {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, v := range keys {
+		out[v] += parts[v]
+	}
+}
+
+// True positive: ambient randomness breaks fixed-(seed, k) replay.
+func ambient(n int) int {
+	return rand.Intn(n) // want "math/rand in a deterministic package"
+}
+
+// True positive: wall-clock read.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic package"
+}
+
+// Correct negative: measuring a caller-supplied instant reads no clock
+// here.
+func since(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+// True positive: channel-arrival collection order is scheduling order.
+func channelCollect(parts chan []float64, out []float64) {
+	for part := range parts { // want "channel-arrival order"
+		for i, s := range part {
+			out[i] += s
+		}
+	}
+}
+
+// True positive: select-loop collection is the same bug with extra steps.
+func selectCollect(results chan float64, done chan struct{}) float64 {
+	var sum float64
+	for {
+		select { // want "select-loop collects goroutine results"
+		case r := <-results:
+			sum += r
+		case <-done:
+			return sum
+		}
+	}
+}
+
+// Correct negative: workers write index-addressed slots; the merge reads
+// them in worker order, so scheduling never touches the reduction.
+func indexedCollect(k int, compute func(int) float64) float64 {
+	out := make([]float64, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = compute(i)
+		}(i)
+	}
+	wg.Wait()
+	var sum float64
+	for _, s := range out {
+		sum += s
+	}
+	return sum
+}

@@ -1,0 +1,73 @@
+// Fixture for the epochkey analyzer: cache keys must flow from an
+// epoch-bearing value, and score-shaped caches must not appear outside
+// internal/cache.
+package fixture
+
+import (
+	"context"
+
+	"github.com/simrank/simpush/internal/cache"
+)
+
+type view struct{ e uint64 }
+
+func (v view) Epoch() uint64 { return v.e }
+
+// True positive: the key literal never sets Epoch, so every epoch shares
+// one entry and the first mutation starts serving stale scores.
+func missingEpochField(c *cache.Cache, u int32) {
+	key := cache.Key{Kind: "single-source", Node: u} // want "does not flow from an epoch-bearing value"
+	c.Put(key, nil)
+}
+
+// True positive: Epoch is set, but from nothing epoch-bearing.
+func hardcodedEpoch(c *cache.Cache, u int32) (any, bool) {
+	return c.Get(cache.Key{Epoch: 0, Kind: "topk", Node: u}) // want "does not flow from an epoch-bearing value"
+}
+
+// True positive: Do's key (second argument) is checked too.
+func doWithoutEpoch(ctx context.Context, c *cache.Cache, u int32) {
+	c.Do(ctx, cache.Key{Kind: "pair", Node: u}, func(context.Context) (any, error) { // want "does not flow from an epoch-bearing value"
+		return nil, nil
+	})
+}
+
+// Correct negative: the key flows from view.Epoch().
+func epochFromView(c *cache.Cache, v view, u int32) {
+	key := cache.Key{Epoch: v.Epoch(), Kind: "pair", Node: u}
+	c.Put(key, 1.0)
+}
+
+// Correct negative: the key flows from an epoch-named variable.
+func epochFromParam(c *cache.Cache, epoch uint64, u int32) (any, bool) {
+	return c.Get(cache.Key{Epoch: epoch, Kind: "single-source", Node: u})
+}
+
+// Correct negative: a prebuilt key parameter is the caller's
+// responsibility — its construction site is checked where it occurs.
+func putPrebuilt(c *cache.Cache, key cache.Key, v any) {
+	c.Put(key, v)
+}
+
+// True positive: a score-shaped map announcing caching intent, outside
+// the epoch-keyed cache.
+type engine struct {
+	scoreCache map[int32]float64 // want "score map .scoreCache. outside internal/cache"
+	scratch    []float64         // plain scratch is fine
+}
+
+// True positive: package-level memo of score slices.
+var resultMemo = map[string][]float64{} // want "score map .resultMemo. outside internal/cache"
+
+// Correct negative: an accumulator map is not a cache — nothing in the
+// name claims results outlive the computation.
+func accumulate(n int) map[int32]float64 {
+	acc := map[int32]float64{}
+	for i := 0; i < n; i++ {
+		acc[int32(i)] += 1
+	}
+	return acc
+}
+
+// Correct negative: cache-named, but holds no scores.
+var statusCache = map[string]string{}

@@ -1,0 +1,81 @@
+// Fixture for the lockscope analyzer: no network round-trips or graph
+// commits while holding a mutex.
+package fixture
+
+import (
+	"net"
+	"net/http"
+	"sync"
+)
+
+type prober struct {
+	mu     sync.Mutex
+	client *http.Client
+	state  string
+}
+
+// True positive: a round-trip under the lock wedges everything that
+// needs p.mu for as long as the peer cares to dawdle.
+func (p *prober) probeLocked(url string) {
+	p.mu.Lock()
+	resp, err := p.client.Get(url) // want "while holding p.mu"
+	_, _ = resp, err
+	p.mu.Unlock()
+}
+
+// True positive: a deferred unlock holds the lock to function end.
+func (p *prober) probeDeferred(url string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := http.Get(url) // want "while holding p.mu"
+	return err
+}
+
+// Correct negative: snapshot under the lock, release, then talk to the
+// network.
+func (p *prober) probeReleased(url string) {
+	p.mu.Lock()
+	p.state = "probing"
+	p.mu.Unlock()
+	resp, err := http.Get(url)
+	_, _ = resp, err
+}
+
+// Correct negative: a goroutine body starts with a clean slate — it does
+// not inherit the creator's locks.
+func (p *prober) probeAsync(url string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		resp, err := http.Get(url)
+		_, _ = resp, err
+	}()
+}
+
+type dyn struct{ mu sync.Mutex }
+
+func (d *dyn) ApplyEdges(add, remove [][2]int32) error { return nil }
+
+// True positive: committing a mutation batch while holding a lock the
+// serving path needs is the long-poll deadlock shape.
+func (d *dyn) commitLocked() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_ = d.ApplyEdges(nil, nil) // want "ApplyEdges while holding d.mu"
+}
+
+// Correct negative: commit after release.
+func (d *dyn) commitReleased() {
+	d.mu.Lock()
+	d.mu.Unlock()
+	_ = d.ApplyEdges(nil, nil)
+}
+
+// True positive: dialing under a read lock blocks writers behind a
+// network peer.
+func dialLocked(mu *sync.RWMutex, addr string) {
+	mu.RLock()
+	defer mu.RUnlock()
+	conn, err := net.Dial("tcp", addr) // want "net.Dial while holding mu"
+	_, _ = conn, err
+}

@@ -325,7 +325,10 @@ func (e *Engine) Query(ctx context.Context, u int32) ([]float64, error) {
 
 	// Stage 2: join each visited (ℓ, w) — hubs via the index, the tail via
 	// adaptive online pushes.
-	etaCache := map[int32]float64{}
+	// Per-query η memo over the one snapshot this query is pinned to; it
+	// dies with the query, so it can never serve a value across epochs.
+	etaCache := map[int32]float64{} //lint:allow epochkey per-query memo on one pinned snapshot, freed at query end
+
 	invWalks := 1 / float64(e.nWalks)
 	// expected number of meeting levels: √c/(1-√c)
 	levelMass := math.Sqrt(e.p.C) / (1 - math.Sqrt(e.p.C))
