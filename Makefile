@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt check bench bench-json serve smoke cluster-smoke cluster-bench
+.PHONY: all build test race vet lint fmt check bench bench-json serve smoke cluster-smoke cluster-bench workload-smoke
 
 all: check
 
@@ -57,3 +57,9 @@ cluster-smoke:
 # rate across 3 replicas) → BENCH_PR6.json.
 cluster-bench:
 	./scripts/cluster_bench.sh
+
+# Workload scenario smoke: simload drives every preset against a live
+# simrankd on a fixture graph → BENCH_PR8.json (SLO-scored report).
+# Override with e.g. DURATION=30s RATE_SCALE=1 for a real run.
+workload-smoke:
+	./scripts/workload_smoke.sh

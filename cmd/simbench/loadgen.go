@@ -1,24 +1,25 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
-	"net/url"
-	"sort"
-	"sync"
 	"time"
 
 	"github.com/simrank/simpush/internal/cluster"
 	"github.com/simrank/simpush/internal/server"
+	"github.com/simrank/simpush/internal/workload"
 )
 
-// loadOptions parameterizes the HTTP load-generator mode (-http): it
-// drives a running simrankd and reports the serving-path baseline the
-// library benchmarks can't see — throughput, latency percentiles, and
-// cache hit rate under repeated-query traffic.
+// loadOptions parameterizes the HTTP load-generator mode (-http).
+//
+// Deprecated: -http predates the workload subsystem and survives as a
+// thin shim over internal/workload — one closed-loop hot-set class, the
+// historical default. New load runs should use cmd/simload, which adds
+// open-loop arrival processes, Zipfian popularity, mutation traffic,
+// multi-class mixes and SLO scoring.
 type loadOptions struct {
 	base        string        // daemon base URL
 	duration    time.Duration // measurement window
@@ -32,10 +33,53 @@ type loadOptions struct {
 	seed        uint64
 }
 
-type loadSample struct {
-	latency time.Duration
-	status  int
-	err     error
+// spec translates the historical flag surface into a single closed-loop
+// workload class with hot-pinned seeds (repeats of a hot node are
+// cache-identical; cold queries draw fresh seeds).
+func (opt loadOptions) spec() (*workload.Spec, error) {
+	var mix []workload.OpMix
+	switch opt.endpoint {
+	case "single-source":
+		mix = []workload.OpMix{{Op: workload.OpSingleSource, Weight: 1}}
+	case "topk":
+		mix = []workload.OpMix{{Op: workload.OpTopK, Weight: 1}}
+	case "pair":
+		mix = []workload.OpMix{{Op: workload.OpPair, Weight: 1}}
+	case "mix":
+		mix = []workload.OpMix{
+			{Op: workload.OpSingleSource, Weight: 1},
+			{Op: workload.OpTopK, Weight: 1},
+			{Op: workload.OpPair, Weight: 1},
+		}
+	default:
+		return nil, fmt.Errorf("unknown endpoint %q (want single-source|topk|pair|mix)", opt.endpoint)
+	}
+	pop := workload.PopularitySpec{Dist: "uniform"}
+	if opt.hot > 0 {
+		pop = workload.PopularitySpec{Dist: "hotset", Hot: opt.hot, HotFrac: opt.hotFrac}
+	}
+	conc := opt.concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	spec := &workload.Spec{
+		Name:     "simbench-http",
+		Duration: workload.Duration(opt.duration),
+		Seed:     opt.seed,
+		Classes: []workload.ClassSpec{{
+			Name:       "load",
+			Arrival:    workload.ArrivalSpec{Process: "closed", Concurrency: conc},
+			Popularity: pop,
+			Mix:        mix,
+			K:          opt.k,
+			Eps:        opt.eps,
+			SeedPolicy: "hot-pinned",
+		}},
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
 }
 
 // fetchStats decodes /statsz. The target may be a single simrankd or a
@@ -66,111 +110,39 @@ func fetchStats(client *http.Client, base string) (server.StatsSnapshot, *cluste
 	return snap, nil, nil
 }
 
-// queryURL builds one request against the daemon. Hot queries are seeded
-// with a constant derived from the node, so repeats are cache-identical;
-// cold queries draw a fresh seed so they exercise the engine.
-func queryURL(opt loadOptions, rng *rand.Rand, n int32) string {
-	endpoint := opt.endpoint
-	if endpoint == "mix" {
-		switch rng.Intn(3) {
-		case 0:
-			endpoint = "single-source"
-		case 1:
-			endpoint = "topk"
-		default:
-			endpoint = "pair"
-		}
-	}
-	hot := rng.Float64() < opt.hotFrac
-	var node int32
-	if hot {
-		node = int32(rng.Intn(opt.hot))
-	} else {
-		node = rng.Int31n(n)
-	}
-	v := url.Values{}
-	if hot {
-		v.Set("seed", fmt.Sprint(uint64(node)*2654435761+1))
-	} else {
-		v.Set("seed", fmt.Sprint(rng.Uint64()))
-	}
-	if opt.eps > 0 {
-		v.Set("eps", fmt.Sprint(opt.eps))
-	}
-	switch endpoint {
-	case "topk":
-		v.Set("node", fmt.Sprint(node))
-		v.Set("k", fmt.Sprint(opt.k))
-	case "pair":
-		v.Set("u", fmt.Sprint(node))
-		v.Set("v", fmt.Sprint((node+1)%n))
-	default:
-		v.Set("node", fmt.Sprint(node))
-	}
-	return opt.base + "/v1/" + endpoint + "?" + v.Encode()
-}
-
-// runHTTPLoad drives the daemon for the configured window and writes a
-// TSV report.
+// runHTTPLoad drives the daemon through the workload subsystem for the
+// configured window and writes the historical TSV report.
 func runHTTPLoad(w io.Writer, opt loadOptions) error {
-	switch opt.endpoint {
-	case "single-source", "topk", "pair", "mix":
-	default:
-		return fmt.Errorf("unknown endpoint %q (want single-source|topk|pair|mix)", opt.endpoint)
-	}
-	if opt.concurrency < 1 {
-		opt.concurrency = 1
+	spec, err := opt.spec()
+	if err != nil {
+		return err
 	}
 	client := &http.Client{Timeout: opt.timeout}
 
-	before, proxyBefore, err := fetchStats(client, opt.base)
+	// The runner reads the shared /statsz fields itself; this extra pair
+	// of snapshots exists only for the proxy's per-replica breakdown.
+	_, proxyBefore, err := fetchStats(client, opt.base)
 	if err != nil {
 		return fmt.Errorf("reaching daemon: %w", err)
 	}
-	n := before.GraphN
-	if n < 1 {
-		return fmt.Errorf("daemon reports an empty graph (n=%d)", n)
-	}
-	if opt.hot <= 0 || opt.hot > int(n) {
-		opt.hot = int(n)
+
+	fmt.Fprintf(w, "# NOTE: simbench -http is deprecated; use simload (same engine, adds open-loop arrivals, scenarios, SLO scoring)\n")
+	fmt.Fprintf(w, "# effective seed: %d (replay with -seed %d)\n", spec.Seed, spec.Seed)
+
+	rep, err := workload.Run(context.Background(), spec, workload.RunOptions{
+		Target:     opt.base,
+		Timeout:    opt.timeout,
+		HTTPClient: client,
+	})
+	if err != nil {
+		return err
 	}
 
-	deadline := time.Now().Add(opt.duration)
-	samples := make([][]loadSample, opt.concurrency)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for wkr := 0; wkr < opt.concurrency; wkr++ {
-		wg.Add(1)
-		go func(wkr int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(opt.seed) + int64(wkr)*7919))
-			local := make([]loadSample, 0, 1024)
-			for time.Now().Before(deadline) {
-				target := queryURL(opt, rng, n)
-				t0 := time.Now()
-				resp, err := client.Get(target)
-				lat := time.Since(t0)
-				s := loadSample{latency: lat, err: err}
-				if err == nil {
-					s.status = resp.StatusCode
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-				}
-				local = append(local, s)
-			}
-			samples[wkr] = local
-		}(wkr)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	after, proxyAfter, err := fetchStats(client, opt.base)
+	_, proxyAfter, err := fetchStats(client, opt.base)
 	if err != nil {
 		return fmt.Errorf("reading final stats: %w", err)
 	}
-	if err := writeLoadReport(w, opt, elapsed, samples, before, after); err != nil {
-		return err
-	}
+	writeLoadReport(w, opt, rep)
 	writeReplicaReport(w, proxyBefore, proxyAfter)
 	return nil
 }
@@ -208,68 +180,29 @@ func writeReplicaReport(w io.Writer, before, after *cluster.StatsSnapshot) {
 	}
 }
 
-func writeLoadReport(w io.Writer, opt loadOptions, elapsed time.Duration, samples [][]loadSample, before, after server.StatsSnapshot) error {
-	var (
-		lats     []float64
-		ok       int
-		rejected int
-		failed   int
-		other    int
-	)
-	for _, local := range samples {
-		for _, s := range local {
-			switch {
-			case s.err != nil:
-				failed++
-			case s.status == http.StatusOK:
-				ok++
-				lats = append(lats, s.latency.Seconds()*1000)
-			case s.status == http.StatusTooManyRequests:
-				rejected++
-			default:
-				other++
-			}
-		}
-	}
-	total := ok + rejected + failed + other
-	sort.Float64s(lats)
-	pct := func(q float64) float64 {
-		if len(lats) == 0 {
-			return 0
-		}
-		idx := int(q * float64(len(lats)-1))
-		return lats[idx]
-	}
-
-	hits := after.Cache.Hits - before.Cache.Hits
-	misses := after.Cache.Misses - before.Cache.Misses
-	coalesced := after.Cache.Coalesced - before.Cache.Coalesced
-	hitRate := 0.0
-	if hits+misses > 0 {
-		hitRate = float64(hits) / float64(hits+misses)
-	}
-	engineQueries := after.Client.Queries - before.Client.Queries
-
+// writeLoadReport renders the workload report in the TSV shape the -http
+// mode has always produced, so scripts parsing it keep working.
+func writeLoadReport(w io.Writer, opt loadOptions, rep *workload.Report) {
 	fmt.Fprintf(w, "# simbench HTTP load: %s for %s, %d workers, endpoint=%s, hot=%d@%.2f\n",
-		opt.base, elapsed.Round(time.Millisecond), opt.concurrency, opt.endpoint, opt.hot, opt.hotFrac)
+		opt.base, (time.Duration(rep.DurationSeconds * float64(time.Second))).Round(time.Millisecond),
+		opt.concurrency, opt.endpoint, opt.hot, opt.hotFrac)
 	fmt.Fprintf(w, "metric\tvalue\n")
-	fmt.Fprintf(w, "requests\t%d\n", total)
-	fmt.Fprintf(w, "ok\t%d\n", ok)
-	fmt.Fprintf(w, "rejected_429\t%d\n", rejected)
-	fmt.Fprintf(w, "transport_errors\t%d\n", failed)
-	fmt.Fprintf(w, "other_status\t%d\n", other)
-	fmt.Fprintf(w, "throughput_rps\t%.1f\n", float64(total)/elapsed.Seconds())
-	fmt.Fprintf(w, "latency_p50_ms\t%.3f\n", pct(0.50))
-	fmt.Fprintf(w, "latency_p90_ms\t%.3f\n", pct(0.90))
-	fmt.Fprintf(w, "latency_p99_ms\t%.3f\n", pct(0.99))
-	if len(lats) > 0 {
-		fmt.Fprintf(w, "latency_max_ms\t%.3f\n", lats[len(lats)-1])
+	fmt.Fprintf(w, "requests\t%d\n", rep.Requests)
+	fmt.Fprintf(w, "ok\t%d\n", rep.OK)
+	fmt.Fprintf(w, "rejected_429\t%d\n", rep.Rejected429)
+	fmt.Fprintf(w, "transport_errors\t%d\n", rep.TransportErrors)
+	fmt.Fprintf(w, "other_status\t%d\n", rep.Errors4xx+rep.Errors5xx)
+	fmt.Fprintf(w, "throughput_rps\t%.1f\n", rep.ThroughputRPS)
+	fmt.Fprintf(w, "latency_p50_ms\t%.3f\n", rep.Latency.P50Ms)
+	fmt.Fprintf(w, "latency_p90_ms\t%.3f\n", rep.Latency.P90Ms)
+	fmt.Fprintf(w, "latency_p99_ms\t%.3f\n", rep.Latency.P99Ms)
+	if rep.OK > 0 {
+		fmt.Fprintf(w, "latency_max_ms\t%.3f\n", rep.Latency.MaxMs)
 	}
-	fmt.Fprintf(w, "cache_hits\t%d\n", hits)
-	fmt.Fprintf(w, "cache_misses\t%d\n", misses)
-	fmt.Fprintf(w, "cache_coalesced\t%d\n", coalesced)
-	fmt.Fprintf(w, "cache_hit_rate\t%.3f\n", hitRate)
-	fmt.Fprintf(w, "engine_queries\t%d\n", engineQueries)
-	fmt.Fprintf(w, "server_epoch\t%d\n", after.Epoch)
-	return nil
+	fmt.Fprintf(w, "cache_hits\t%d\n", rep.Cache.Hits)
+	fmt.Fprintf(w, "cache_misses\t%d\n", rep.Cache.Misses)
+	fmt.Fprintf(w, "cache_coalesced\t%d\n", rep.Cache.Coalesced)
+	fmt.Fprintf(w, "cache_hit_rate\t%.3f\n", rep.Cache.HitRate)
+	fmt.Fprintf(w, "engine_queries\t%d\n", rep.EngineQueries)
+	fmt.Fprintf(w, "server_epoch\t%d\n", rep.ServerEpoch)
 }

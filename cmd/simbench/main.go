@@ -29,6 +29,11 @@
 //	simbench -http http://localhost:8080 -http-duration 30s \
 //	    -http-concurrency 16 -http-hot 32 -http-hotfrac 0.8
 //
+// -http is deprecated: it now runs as a closed-loop shim over the
+// internal/workload subsystem and keeps its TSV report, but new load
+// runs should use cmd/simload (open-loop arrival processes, Zipfian
+// popularity, mutation traffic, scenario presets, SLO scoring).
+//
 // Parallelism mode (-parallelism k, k > 1) measures intra-query speedup:
 // it runs the same seeded single-source queries serially and with
 // WithParallelism(k) and prints per-stage (Source-Push, γ, Reverse-Push)
@@ -64,7 +69,7 @@ func main() {
 		verbose      = flag.Bool("v", true, "progress logging to stderr")
 		parallelism  = flag.Int("parallelism", 0, "measure intra-query speedup: serial vs this many workers per query (>1 activates)")
 
-		httpBase    = flag.String("http", "", "drive a running simrankd at this base URL instead of the library")
+		httpBase    = flag.String("http", "", "drive a running simrankd at this base URL instead of the library (deprecated: use simload)")
 		httpDur     = flag.Duration("http-duration", 10*time.Second, "HTTP load window")
 		httpConc    = flag.Int("http-concurrency", 8, "concurrent HTTP request loops")
 		httpEP      = flag.String("http-endpoint", "single-source", "endpoint under load: single-source|topk|pair|mix")

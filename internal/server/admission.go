@@ -3,7 +3,9 @@ package server
 import (
 	"context"
 	"errors"
+	"math"
 	"sync/atomic"
+	"time"
 )
 
 // errSaturated is returned by acquire when the in-flight limit is reached
@@ -20,6 +22,12 @@ type admission struct {
 	maxQueue int64
 	queued   atomic.Int64
 	rejected atomic.Uint64
+
+	// Observed service process, feeding the Retry-After estimate: how
+	// many slot-holding computations finished and how long they held
+	// their slots in total.
+	completed atomic.Uint64
+	busyNanos atomic.Uint64
 }
 
 func newAdmission(maxInFlight, maxQueue int) *admission {
@@ -86,3 +94,52 @@ func (a *admission) inFlight() int { return len(a.slots) }
 
 // queueDepth reports the number of requests waiting for a slot.
 func (a *admission) queueDepth() int64 { return a.queued.Load() }
+
+// recordService notes that a computation held n slots for d each. The
+// running totals give the mean per-slot occupancy time, the service-rate
+// half of the Retry-After estimate.
+func (a *admission) recordService(d time.Duration, n int) {
+	if d < 0 || n <= 0 {
+		return
+	}
+	a.completed.Add(uint64(n))
+	a.busyNanos.Add(uint64(d) * uint64(n))
+}
+
+// avgServiceNanos is the observed mean slot-occupancy time (0 before any
+// computation has finished).
+func (a *admission) avgServiceNanos() uint64 {
+	done := a.completed.Load()
+	if done == 0 {
+		return 0
+	}
+	return a.busyNanos.Load() / done
+}
+
+// estimateRetryAfter derives the 429 Retry-After from the current
+// backlog and the observed service rate: a rejected request would stand
+// behind everything running plus everything queued, drained by
+// maxInFlight parallel slots at the observed mean service time. Before
+// any observation exists it falls back to the configured constant;
+// the result is clamped to [1, maxSec] so one pathological slow query
+// cannot tell clients to go away for an hour.
+func (a *admission) estimateRetryAfter(fallbackSec, maxSec int) int {
+	avg := a.avgServiceNanos()
+	if avg == 0 {
+		return fallbackSec
+	}
+	ahead := int64(len(a.slots)) + a.queued.Load() + 1
+	workers := int64(cap(a.slots))
+	if workers < 1 {
+		workers = 1
+	}
+	drainNanos := float64(ahead) * float64(avg) / float64(workers)
+	secs := int(math.Ceil(drainNanos / 1e9))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxSec {
+		secs = maxSec
+	}
+	return secs
+}

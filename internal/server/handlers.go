@@ -53,9 +53,17 @@ func mapError(err error) *httpError {
 	}
 }
 
+// maxRetryAfterSec clamps the adaptive Retry-After estimate so a burst of
+// pathologically slow queries cannot tell clients to stay away for hours.
+const maxRetryAfterSec = 60
+
 func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
 	if he.status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+		// Derived from the live backlog and observed service rate, not a
+		// constant: under a shallow queue clients come back almost at once,
+		// under a deep one they actually wait long enough to find a slot.
+		sec := s.adm.estimateRetryAfter(s.cfg.RetryAfter, maxRetryAfterSec)
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
 	}
 	writeJSON(w, he.status, map[string]string{"error": he.msg, "code": he.code})
 }
@@ -246,7 +254,11 @@ func admitted[T any](s *Server, ctx context.Context, compute func() (T, error)) 
 	if err := s.adm.acquire(ctx); err != nil {
 		return zero, err
 	}
-	defer s.adm.release()
+	t0 := time.Now()
+	defer func() {
+		s.adm.recordService(time.Since(t0), 1)
+		s.adm.release()
+	}()
 	return compute()
 }
 
@@ -262,12 +274,23 @@ func flightCompute[T any](s *Server, fctx context.Context, compute func(context.
 	})
 }
 
+// outcomePath maps a cache outcome to a latency-histogram path: only the
+// caller that actually ran the engine is an engine sample; hits and
+// coalesced shares both measure the cache/wait path.
+func outcomePath(o cache.Outcome) int {
+	if o == cache.Computed {
+		return pathEngine
+	}
+	return pathCache
+}
+
 // GET /v1/single-source?node=&eps=&delta=&seed=&max_walks=&timeout=&dense=
 func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeMethodNotAllowed(w, http.MethodGet)
 		return
 	}
+	start := time.Now()
 	u, herr := parseNode(r, "node")
 	if herr != nil {
 		s.writeError(w, herr)
@@ -300,6 +323,7 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, mapError(err))
 		return
 	}
+	s.observeLatency(kSingleSource, outcomePath(outcome), time.Since(start))
 	res := v.(*simpush.Result)
 
 	resp := map[string]any{
@@ -326,6 +350,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeMethodNotAllowed(w, http.MethodGet)
 		return
 	}
+	start := time.Now()
 	u, herr := parseNode(r, "node")
 	if herr != nil {
 		s.writeError(w, herr)
@@ -367,6 +392,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, mapError(err))
 		return
 	}
+	s.observeLatency(kTopK, outcomePath(outcome), time.Since(start))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"node":    u,
 		"k":       k,
@@ -382,6 +408,7 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeMethodNotAllowed(w, http.MethodGet)
 		return
 	}
+	start := time.Now()
 	u, herr := parseNode(r, "u")
 	if herr != nil {
 		s.writeError(w, herr)
@@ -419,6 +446,7 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, mapError(err))
 		return
 	}
+	s.observeLatency(kPair, outcomePath(outcome), time.Since(start))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"u":     u,
 		"v":     vNode,
@@ -448,6 +476,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeMethodNotAllowed(w, http.MethodPost)
 		return
 	}
+	start := time.Now()
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeError(w, httpErrf(http.StatusBadRequest, "bad_body", "decoding JSON body: %v", err))
@@ -522,7 +551,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, mapError(err))
 			return
 		}
+		t0 := time.Now()
 		computed, err := view.BatchSingleSource(ctx, missing, held, qp.options()...)
+		s.adm.recordService(time.Since(t0), held)
 		s.adm.releaseN(held)
 		if err != nil {
 			s.writeError(w, mapError(err))
@@ -549,6 +580,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		results[i] = entry
 	}
+	// A batch is an engine sample iff it computed at least one row;
+	// fully-cached batches measure the lookup path.
+	path := pathCache
+	if len(missing) > 0 {
+		path = pathEngine
+	}
+	s.observeLatency(kBatch, path, time.Since(start))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"epoch":   view.Epoch(),
 		"count":   len(req.Nodes),
@@ -580,6 +618,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeMethodNotAllowed(w, http.MethodPost, http.MethodDelete)
 		return
 	}
+	start := time.Now()
 	if s.dyn == nil {
 		s.writeError(w, httpErrf(http.StatusNotImplemented, "static_source",
 			"graph source is static; serve a DynamicGraph to enable mutations"))
@@ -640,6 +679,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, httpErrf(http.StatusBadRequest, "bad_edge", "%v (batch rejected, nothing applied)", err))
 			return
 		}
+		s.observeLatency(kEdges, pathEngine, time.Since(start))
 		writeJSON(w, http.StatusOK, map[string]any{"applied": len(edges), "epoch": epoch})
 		return
 	}
@@ -655,5 +695,6 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		}
 		applied++
 	}
+	s.observeLatency(kEdges, pathEngine, time.Since(start))
 	writeJSON(w, http.StatusOK, map[string]any{"applied": applied})
 }

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Per-endpoint latency histograms, split by serving path, so operators
+// (and simload) can compute server-side percentiles and cross-check the
+// client-observed ones: a gap between the two is network/queueing, not
+// engine time.
+//
+// Buckets are fixed at process start — exponential, 100µs doubling up to
+// ~200s plus an overflow bucket — so snapshots are a pair of small
+// arrays, merging across scrapes is trivial, and recording is two atomic
+// adds on the request path.
+
+// latencyBucketCount includes the overflow bucket.
+const latencyBucketCount = 22
+
+// latencyBoundsMs holds the inclusive upper bound of each bucket in
+// milliseconds; the last bucket is unbounded.
+var latencyBoundsMs = func() [latencyBucketCount - 1]float64 {
+	var b [latencyBucketCount - 1]float64
+	v := 0.1
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// LatencyBucketsMs exposes the bucket upper bounds (ms) once per stats
+// snapshot; every histogram's Counts array aligns with it, with one
+// extra trailing overflow bucket.
+func LatencyBucketsMs() []float64 {
+	out := make([]float64, len(latencyBoundsMs))
+	copy(out, latencyBoundsMs[:])
+	return out
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	ms := d.Seconds() * 1000
+	// The bounds double, so a linear scan over 21 floats beats the
+	// branch-mispredict cost of binary search at this size.
+	for i, ub := range latencyBoundsMs {
+		if ms <= ub {
+			return i
+		}
+	}
+	return latencyBucketCount - 1
+}
+
+// latencyHist is a fixed-bucket concurrent histogram. The zero value is
+// ready to use.
+type latencyHist struct {
+	counts   [latencyBucketCount]atomic.Uint64
+	total    atomic.Uint64
+	sumNanos atomic.Uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketFor(d)].Add(1)
+	h.total.Add(1)
+	h.sumNanos.Add(uint64(d))
+}
+
+// HistogramSnapshot is the JSON form of one (endpoint, path) histogram.
+// Counts aligns with the top-level latency_buckets_ms bounds plus a
+// final overflow bucket. Percentiles are estimated by linear
+// interpolation inside the containing bucket, so they carry bucket-width
+// error — for exact client-side numbers use simload, which times every
+// request individually.
+type HistogramSnapshot struct {
+	Count  uint64   `json:"count"`
+	MeanMs float64  `json:"mean_ms"`
+	P50Ms  float64  `json:"p50_ms"`
+	P90Ms  float64  `json:"p90_ms"`
+	P99Ms  float64  `json:"p99_ms"`
+	Counts []uint64 `json:"counts"`
+}
+
+// snapshot returns nil when nothing was recorded, so idle paths are
+// omitted from /statsz instead of rendering 22 zeroes.
+func (h *latencyHist) snapshot() *HistogramSnapshot {
+	total := h.total.Load()
+	if total == 0 {
+		return nil
+	}
+	s := &HistogramSnapshot{
+		Count:  total,
+		MeanMs: float64(h.sumNanos.Load()) / float64(total) / 1e6,
+		Counts: make([]uint64, latencyBucketCount),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	// Concurrent observes can make the per-bucket sum drift from the
+	// loaded total; quantiles use the sum actually captured.
+	var captured uint64
+	for _, c := range s.Counts {
+		captured += c
+	}
+	if captured == 0 {
+		return nil
+	}
+	s.Count = captured
+	s.P50Ms = histQuantile(s.Counts, captured, 0.50)
+	s.P90Ms = histQuantile(s.Counts, captured, 0.90)
+	s.P99Ms = histQuantile(s.Counts, captured, 0.99)
+	return s
+}
+
+// histQuantile estimates quantile q from bucket counts by linear
+// interpolation within the containing bucket.
+func histQuantile(counts []uint64, total uint64, q float64) float64 {
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBoundsMs[i-1]
+			}
+			hi := lo * 2
+			if i < len(latencyBoundsMs) {
+				hi = latencyBoundsMs[i]
+			}
+			if hi <= lo { // first bucket or degenerate overflow
+				return hi
+			}
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return latencyBoundsMs[len(latencyBoundsMs)-1] * 2
+}
+
+// Serving paths a request can resolve through. Engine latencies include
+// admission queueing; cache latencies are hits and coalesced waits.
+const (
+	pathEngine = iota
+	pathCache
+	pathCount
+)
+
+// EndpointLatency pairs the two path histograms of one endpoint.
+type EndpointLatency struct {
+	Engine   *HistogramSnapshot `json:"engine,omitempty"`
+	CacheHit *HistogramSnapshot `json:"cache_hit,omitempty"`
+}
+
+// observeLatency records one successful request's duration under its
+// endpoint and serving path.
+func (s *Server) observeLatency(kind, path int, d time.Duration) {
+	s.lat[kind][path].observe(d)
+}
+
+// latencyStats assembles the /statsz latency block: endpoint →
+// {engine, cache_hit}, omitting endpoints that served nothing.
+func (s *Server) latencyStats() map[string]*EndpointLatency {
+	out := make(map[string]*EndpointLatency)
+	for kind := range s.lat {
+		engine := s.lat[kind][pathEngine].snapshot()
+		cached := s.lat[kind][pathCache].snapshot()
+		if engine == nil && cached == nil {
+			continue
+		}
+		out[kindNames[kind]] = &EndpointLatency{Engine: engine, CacheHit: cached}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBucketForBounds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{50 * time.Microsecond, 0},
+		{100 * time.Microsecond, 0},
+		{101 * time.Microsecond, 1},
+		{200 * time.Microsecond, 1},
+		{time.Millisecond, 4}, // bounds 0.1,0.2,0.4,0.8,1.6 → 1ms lands in bucket 4
+		{time.Hour, latencyBucketCount - 1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bound is its own bucket's inclusive upper edge.
+	for i, ub := range latencyBoundsMs {
+		d := time.Duration(ub * float64(time.Millisecond))
+		if got := bucketFor(d); got != i {
+			t.Errorf("bucketFor(bound %d = %gms) = %d, want %d", i, ub, got, i)
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantiles(t *testing.T) {
+	var h latencyHist
+	if h.snapshot() != nil {
+		t.Fatal("empty histogram must snapshot to nil")
+	}
+	// 90 fast observations at 1ms, 10 slow at 100ms: p50 must sit in the
+	// fast bucket, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(100 * time.Millisecond)
+	}
+	s := h.snapshot()
+	if s == nil || s.Count != 100 {
+		t.Fatalf("snapshot = %+v, want count 100", s)
+	}
+	wantMean := (90*1.0 + 10*100.0) / 100
+	if math.Abs(s.MeanMs-wantMean) > 0.01 {
+		t.Errorf("mean = %.3f ms, want %.3f", s.MeanMs, wantMean)
+	}
+	if s.P50Ms <= 0 || s.P50Ms > 1.6 {
+		t.Errorf("p50 = %.3f ms, want within the ≤1.6ms bucket", s.P50Ms)
+	}
+	if s.P99Ms < 51.2 || s.P99Ms > 102.4 {
+		t.Errorf("p99 = %.3f ms, want inside the (51.2, 102.4] bucket", s.P99Ms)
+	}
+	if s.P50Ms > s.P90Ms || s.P90Ms > s.P99Ms {
+		t.Errorf("quantiles not monotone: p50 %.3f p90 %.3f p99 %.3f", s.P50Ms, s.P90Ms, s.P99Ms)
+	}
+	if len(s.Counts) != latencyBucketCount {
+		t.Errorf("counts length %d, want %d", len(s.Counts), latencyBucketCount)
+	}
+}
+
+func TestHistQuantileSingleBucket(t *testing.T) {
+	var h latencyHist
+	h.observe(500 * time.Microsecond)
+	s := h.snapshot()
+	if s == nil {
+		t.Fatal("nil snapshot after observe")
+	}
+	// One sample in the (0.4, 0.8] bucket: every quantile must stay inside.
+	for _, q := range []float64{s.P50Ms, s.P90Ms, s.P99Ms} {
+		if q <= 0.4 || q > 0.8 {
+			t.Errorf("quantile %.3f ms outside its only occupied bucket (0.4, 0.8]", q)
+		}
+	}
+}
+
+func TestLatencyBucketsMsIsCopy(t *testing.T) {
+	a := LatencyBucketsMs()
+	a[0] = -1
+	if b := LatencyBucketsMs(); b[0] == -1 {
+		t.Fatal("LatencyBucketsMs returned shared backing storage")
+	}
+}

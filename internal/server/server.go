@@ -70,8 +70,10 @@ type Config struct {
 	// (default 256).
 	MaxBatch int
 
-	// RetryAfter is the value of the Retry-After header on 429 responses,
-	// in seconds (default 1).
+	// RetryAfter is the fallback Retry-After on 429 responses, in seconds
+	// (default 1), used until the server has observed enough completed
+	// computations to estimate queue drain time from the backlog and the
+	// measured service rate.
 	RetryAfter int
 
 	// Role places the server in a replicated cluster: RoleLeader serves
@@ -164,6 +166,7 @@ type Server struct {
 	requests  atomic.Uint64
 	errors    atomic.Uint64 // responses with status >= 400
 	byKind    [kindCount]atomic.Uint64
+	lat       [kindCount][pathCount]latencyHist
 	lastEpoch atomic.Uint64 // highest epoch seen; drives opportunistic sweeps
 }
 
@@ -318,6 +321,12 @@ type StatsSnapshot struct {
 	Admission     AdmissionStats    `json:"admission"`
 	Client        ClientStats       `json:"client"`
 	Replication   *ReplicationStats `json:"replication,omitempty"`
+
+	// LatencyBucketsMs holds the shared histogram bucket upper bounds
+	// (ms); every histogram under Latency appends one overflow bucket.
+	// Both fields are omitted until the server has served a request.
+	LatencyBucketsMs []float64                   `json:"latency_buckets_ms,omitempty"`
+	Latency          map[string]*EndpointLatency `json:"latency,omitempty"`
 }
 
 // AdmissionStats describes the admission controller's current state.
@@ -327,6 +336,11 @@ type AdmissionStats struct {
 	MaxQueue    int    `json:"max_queue"`
 	QueueDepth  int64  `json:"queue_depth"`
 	Rejected    uint64 `json:"rejected"`
+	// AvgServiceMs is the observed mean engine-slot occupancy time, and
+	// RetryAfterS the Retry-After a 429 issued right now would carry
+	// (backlog ÷ observed service rate, clamped).
+	AvgServiceMs float64 `json:"avg_service_ms"`
+	RetryAfterS  int     `json:"retry_after_s"`
 }
 
 // ClientStats mirrors simpush.ClientStats with JSON tags.
@@ -349,11 +363,13 @@ func (s *Server) Stats() StatsSnapshot {
 		ByEndpoint:    make(map[string]uint64, kindCount),
 		Cache:         s.cache.Stats(),
 		Admission: AdmissionStats{
-			MaxInFlight: s.cfg.MaxInFlight,
-			InFlight:    s.adm.inFlight(),
-			MaxQueue:    s.cfg.MaxQueue,
-			QueueDepth:  s.adm.queueDepth(),
-			Rejected:    s.adm.rejected.Load(),
+			MaxInFlight:  s.cfg.MaxInFlight,
+			InFlight:     s.adm.inFlight(),
+			MaxQueue:     s.cfg.MaxQueue,
+			QueueDepth:   s.adm.queueDepth(),
+			Rejected:     s.adm.rejected.Load(),
+			AvgServiceMs: float64(s.adm.avgServiceNanos()) / 1e6,
+			RetryAfterS:  s.adm.estimateRetryAfter(s.cfg.RetryAfter, maxRetryAfterSec),
 		},
 		Client:      ClientStats{Queries: cs.Queries, Errors: cs.Errors, InFlight: cs.InFlight},
 		Replication: s.replicationStats(),
@@ -364,6 +380,10 @@ func (s *Server) Stats() StatsSnapshot {
 	}
 	for i, name := range kindNames {
 		snap.ByEndpoint[name] = s.byKind[i].Load()
+	}
+	if lat := s.latencyStats(); lat != nil {
+		snap.Latency = lat
+		snap.LatencyBucketsMs = LatencyBucketsMs()
 	}
 	return snap
 }

@@ -225,6 +225,29 @@ func TestQueryEndpointsServe(t *testing.T) {
 	if stats.Requests == 0 || stats.Client.Queries == 0 {
 		t.Fatalf("statsz counters empty: %+v", stats)
 	}
+
+	// The latency block must be present after traffic, with the engine and
+	// cache-hit paths separated: single-source served both a computed and a
+	// cached request above.
+	if len(stats.LatencyBucketsMs) != latencyBucketCount-1 {
+		t.Fatalf("latency_buckets_ms has %d bounds, want %d", len(stats.LatencyBucketsMs), latencyBucketCount-1)
+	}
+	ss := stats.Latency["single-source"]
+	if ss == nil || ss.Engine == nil || ss.Engine.Count == 0 {
+		t.Fatalf("single-source engine histogram missing: %+v", stats.Latency)
+	}
+	if ss.CacheHit == nil || ss.CacheHit.Count == 0 {
+		t.Fatalf("single-source cache-hit histogram missing: %+v", ss)
+	}
+	if ss.Engine.P99Ms < ss.Engine.P50Ms {
+		t.Fatalf("engine p99 %.3f below p50 %.3f", ss.Engine.P99Ms, ss.Engine.P50Ms)
+	}
+	if stats.Latency["batch"] == nil || stats.Latency["topk"] == nil {
+		t.Fatalf("batch/topk latency missing: %+v", stats.Latency)
+	}
+	if stats.Admission.AvgServiceMs <= 0 || stats.Admission.RetryAfterS < 1 {
+		t.Fatalf("admission service stats not populated: %+v", stats.Admission)
+	}
 }
 
 func TestCacheHitOnRepeatedQuery(t *testing.T) {

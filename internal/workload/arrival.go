@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math"
+	"time"
+
+	"github.com/simrank/simpush/internal/rnd"
+)
+
+// arrivalTimes generates every request offset of one open-loop class in
+// [0, d), in ascending order, deterministically from rng. Closed-loop
+// classes have no pregenerated times (the server paces them).
+func (a *ArrivalSpec) arrivalTimes(d time.Duration, rng *rnd.Source) []time.Duration {
+	switch a.Process {
+	case "poisson":
+		return poissonTimes(d, a.RateRPS, rng)
+	case "bursty":
+		return burstyTimes(d, a, rng)
+	case "diurnal":
+		return diurnalTimes(d, a, rng)
+	}
+	return nil
+}
+
+// expSeconds draws an Exp(rate) interarrival in seconds. Float64 is in
+// [0, 1), so 1-u is in (0, 1] and the log is finite.
+func expSeconds(rate float64, rng *rnd.Source) float64 {
+	return -math.Log(1-rng.Float64()) / rate
+}
+
+// poissonTimes is the open-loop Poisson process: i.i.d. exponential
+// interarrivals at a fixed rate.
+func poissonTimes(d time.Duration, rate float64, rng *rnd.Source) []time.Duration {
+	out := make([]time.Duration, 0, int(rate*d.Seconds())+16)
+	t := 0.0
+	end := d.Seconds()
+	for {
+		t += expSeconds(rate, rng)
+		if t >= end {
+			return out
+		}
+		out = append(out, time.Duration(t*float64(time.Second)))
+	}
+}
+
+// burstyTimes is a Markov-modulated Poisson process: the class
+// alternates between an off-phase at RateRPS and an on-phase at
+// BurstRateRPS, with exponentially distributed phase lengths. Because
+// the exponential is memoryless, redrawing the interarrival from each
+// phase boundary samples the MMPP exactly, not approximately.
+func burstyTimes(d time.Duration, a *ArrivalSpec, rng *rnd.Source) []time.Duration {
+	var out []time.Duration
+	end := d.Seconds()
+	t := 0.0    // current time, seconds
+	on := false // start in the baseline phase
+	phaseEnd := expSeconds(1/seconds(a.OffMean), rng)
+	for t < end {
+		rate := a.RateRPS
+		if on {
+			rate = a.BurstRateRPS
+		}
+		if rate <= 0 {
+			// Silent phase: jump straight to the phase boundary.
+			t = phaseEnd
+		} else {
+			next := t + expSeconds(rate, rng)
+			if next < phaseEnd {
+				t = next
+				if t < end {
+					out = append(out, time.Duration(t*float64(time.Second)))
+				}
+				continue
+			}
+			t = phaseEnd
+		}
+		on = !on
+		mean := seconds(a.OffMean)
+		if on {
+			mean = seconds(a.OnMean)
+		}
+		phaseEnd = t + expSeconds(1/mean, rng)
+	}
+	return out
+}
+
+// diurnalTimes samples a non-homogeneous Poisson process whose rate
+// follows one sinusoid per Period between MinFrac×RateRPS and RateRPS,
+// via Lewis–Shedler thinning against the peak rate.
+func diurnalTimes(d time.Duration, a *ArrivalSpec, rng *rnd.Source) []time.Duration {
+	var out []time.Duration
+	peak := a.RateRPS
+	period := seconds(a.Period)
+	end := d.Seconds()
+	t := 0.0
+	for {
+		t += expSeconds(peak, rng)
+		if t >= end {
+			return out
+		}
+		if rng.Float64()*peak < diurnalRate(t, peak, a.MinFrac, period) {
+			out = append(out, time.Duration(t*float64(time.Second)))
+		}
+	}
+}
+
+// diurnalRate is the instantaneous rate at second t: a cosine curve
+// starting at the trough, peaking mid-period.
+func diurnalRate(t, peak, minFrac float64, period float64) float64 {
+	phase := 0.5 - 0.5*math.Cos(2*math.Pi*t/period)
+	return peak * (minFrac + (1-minFrac)*phase)
+}
+
+// seconds converts the spec's Duration to float seconds.
+func seconds(d Duration) float64 { return time.Duration(d).Seconds() }

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/simrank/simpush/internal/rnd"
+)
+
+func meanVar(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs))
+	return mean, variance
+}
+
+func interarrivals(times []time.Duration) []float64 {
+	out := make([]float64, 0, len(times))
+	prev := 0.0
+	for _, t := range times {
+		s := t.Seconds()
+		out = append(out, s-prev)
+		prev = s
+	}
+	return out
+}
+
+// TestPoissonInterarrivalMoments checks the open-loop Poisson process
+// against its analytic moments: Exp(λ) interarrivals have mean 1/λ and
+// variance 1/λ².
+func TestPoissonInterarrivalMoments(t *testing.T) {
+	const rate = 200.0
+	a := &ArrivalSpec{Process: "poisson", RateRPS: rate}
+	times := a.arrivalTimes(300*time.Second, rnd.New(42))
+	if len(times) < 50000 {
+		t.Fatalf("want a large sample, got %d arrivals", len(times))
+	}
+	gaps := interarrivals(times)
+	mean, variance := meanVar(gaps)
+	if math.Abs(mean-1/rate) > 0.05/rate {
+		t.Errorf("Poisson interarrival mean = %.6f, want %.6f ±5%%", mean, 1/rate)
+	}
+	if math.Abs(variance-1/(rate*rate)) > 0.10/(rate*rate) {
+		t.Errorf("Poisson interarrival variance = %.3e, want %.3e ±10%%", variance, 1/(rate*rate))
+	}
+}
+
+// TestBurstyRateBetweenPhases checks the Markov-modulated process: the
+// long-run rate must match the phase-weighted mixture of the baseline
+// and burst rates, and must exceed what the baseline alone would give —
+// i.e. the bursts are really there.
+func TestBurstyRateBetweenPhases(t *testing.T) {
+	a := &ArrivalSpec{
+		Process: "bursty",
+		RateRPS: 10, BurstRateRPS: 200,
+		OnMean:  Duration(time.Second),
+		OffMean: Duration(3 * time.Second),
+	}
+	// A long window: the on-time fraction of ~N cycles has ~1/√N relative
+	// noise, so hundreds of cycles are needed for a ±10% assertion.
+	window := 4000 * time.Second
+	times := a.arrivalTimes(window, rnd.New(7))
+	rate := float64(len(times)) / window.Seconds()
+
+	// Expected long-run rate: (offMean·base + onMean·burst)/(onMean+offMean).
+	want := (3.0*10 + 1.0*200) / 4.0
+	if math.Abs(rate-want) > 0.10*want {
+		t.Errorf("bursty long-run rate = %.1f rps, want %.1f ±10%%", rate, want)
+	}
+
+	// Burstiness: interarrival variance must exceed a plain Poisson's at
+	// the same mean rate (the index of dispersion of an MMPP is > 1).
+	gaps := interarrivals(times)
+	mean, variance := meanVar(gaps)
+	if variance <= mean*mean {
+		t.Errorf("bursty interarrivals look Poisson: var %.3e <= mean² %.3e", variance, mean*mean)
+	}
+}
+
+// TestDiurnalRateCurve checks the thinned non-homogeneous process: the
+// total count matches the integral of the rate curve, and the trough
+// half of the period sees measurably less traffic than the peak half.
+func TestDiurnalRateCurve(t *testing.T) {
+	peak, minFrac := 120.0, 0.2
+	period := 100 * time.Second
+	a := &ArrivalSpec{Process: "diurnal", RateRPS: peak, Period: Duration(period), MinFrac: minFrac}
+	times := a.arrivalTimes(period, rnd.New(3)) // exactly one period
+
+	rate := float64(len(times)) / period.Seconds()
+	want := peak * (minFrac + (1-minFrac)/2) // mean of the sinusoid
+	if math.Abs(rate-want) > 0.10*want {
+		t.Errorf("diurnal mean rate = %.1f rps, want %.1f ±10%%", rate, want)
+	}
+
+	// First and last quarters surround the trough (cosine starts there);
+	// the middle half holds the peak.
+	quarter := period.Seconds() / 4
+	var trough, peakCount int
+	for _, at := range times {
+		s := at.Seconds()
+		if s < quarter || s > 3*quarter {
+			trough++
+		} else {
+			peakCount++
+		}
+	}
+	if float64(peakCount) < 1.5*float64(trough) {
+		t.Errorf("diurnal curve too flat: peak half %d vs trough half %d arrivals", peakCount, trough)
+	}
+}
+
+// TestArrivalsSortedAndInWindow: every process must emit ascending
+// offsets strictly inside the run window.
+func TestArrivalsSortedAndInWindow(t *testing.T) {
+	window := 20 * time.Second
+	specs := []*ArrivalSpec{
+		{Process: "poisson", RateRPS: 50},
+		{Process: "bursty", RateRPS: 5, BurstRateRPS: 100, OnMean: Duration(time.Second), OffMean: Duration(2 * time.Second)},
+		{Process: "diurnal", RateRPS: 50, Period: Duration(10 * time.Second), MinFrac: 0.1},
+	}
+	for _, a := range specs {
+		times := a.arrivalTimes(window, rnd.New(11))
+		if len(times) == 0 {
+			t.Fatalf("%s: no arrivals", a.Process)
+		}
+		prev := time.Duration(-1)
+		for i, at := range times {
+			if at < prev {
+				t.Fatalf("%s: arrivals not ascending at %d: %v after %v", a.Process, i, at, prev)
+			}
+			if at < 0 || at >= window {
+				t.Fatalf("%s: arrival %v outside [0, %v)", a.Process, at, window)
+			}
+			prev = at
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/simrank/simpush/internal/rnd"
+)
+
+// headMass estimates the probability mass the sampler puts on the top
+// 1% of node ids.
+func headMass(s nodeSampler, n int32, draws int, rng *rnd.Source) float64 {
+	head := n / 100
+	if head < 1 {
+		head = 1
+	}
+	hits := 0
+	for i := 0; i < draws; i++ {
+		node, _ := s.sample(rng)
+		if node < 0 || node >= n {
+			panic("sample out of range")
+		}
+		if node < head {
+			hits++
+		}
+	}
+	return float64(hits) / float64(draws)
+}
+
+// TestZipfSkewMonotone: the mass on the head of the distribution must
+// grow strictly with the skew exponent s — the satellite's monotonicity
+// property — spanning s < 1 (where math/rand's Zipf gives up) and s > 1.
+func TestZipfSkewMonotone(t *testing.T) {
+	const n, draws = 10000, 200000
+	prev := -1.0
+	for _, s := range []float64{0.5, 0.8, 1.0, 1.3, 1.8} {
+		mass := headMass(newZipfSampler(n, s), n, draws, rnd.New(5))
+		if mass <= prev {
+			t.Fatalf("head mass not monotone in skew: s=%.1f gives %.4f, previous %.4f", s, mass, prev)
+		}
+		prev = mass
+	}
+}
+
+// TestZipfMatchesAnalyticMass compares the sampled head mass at s=1
+// against the harmonic-number analytic value.
+func TestZipfMatchesAnalyticMass(t *testing.T) {
+	const n, draws = 1000, 400000
+	harmonic := func(k int) float64 {
+		h := 0.0
+		for i := 1; i <= k; i++ {
+			h += 1 / float64(i)
+		}
+		return h
+	}
+	want := harmonic(10) / harmonic(n) // mass of the top-10 ranks
+	z := newZipfSampler(n, 1.0)
+	rng := rnd.New(9)
+	hits := 0
+	for i := 0; i < draws; i++ {
+		node, _ := z.sample(rng)
+		if node < 10 {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(draws)
+	if math.Abs(got-want) > 0.03*want+0.002 {
+		t.Errorf("Zipf(1.0) top-10 mass = %.4f, analytic %.4f", got, want)
+	}
+}
+
+// TestZipfRange: samples stay in [0, n) even for tiny n and extreme s.
+func TestZipfRange(t *testing.T) {
+	for _, n := range []int32{1, 2, 5, 100} {
+		for _, s := range []float64{0.3, 1.0, 3.0} {
+			z := newZipfSampler(n, s)
+			rng := rnd.New(uint64(n) * 31)
+			for i := 0; i < 2000; i++ {
+				node, _ := z.sample(rng)
+				if node < 0 || node >= n {
+					t.Fatalf("zipf(n=%d, s=%.1f) sampled %d out of range", n, s, node)
+				}
+			}
+		}
+	}
+}
+
+// TestHotsetFractions: the hotset sampler must respect hot_frac and mark
+// hot draws as hot.
+func TestHotsetFractions(t *testing.T) {
+	const n = 1000
+	h := &hotsetSampler{n: n, hot: 10, hotFrac: 0.8}
+	rng := rnd.New(17)
+	hot := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		node, isHot := h.sample(rng)
+		if isHot {
+			hot++
+			if node >= 10 {
+				t.Fatalf("hot draw returned node %d outside the hot set", node)
+			}
+		}
+		if node < 0 || node >= n {
+			t.Fatalf("sample %d out of range", node)
+		}
+	}
+	frac := float64(hot) / draws
+	if math.Abs(frac-0.8) > 0.01 {
+		t.Errorf("hot fraction = %.3f, want 0.80 ±0.01", frac)
+	}
+}
+
+// TestHotsetClampsToGraph: a hot set larger than the graph degrades to
+// uniform instead of sampling out of range.
+func TestHotsetClampsToGraph(t *testing.T) {
+	s := newNodeSampler(&PopularitySpec{Dist: "hotset", Hot: 50, HotFrac: 1}, 5)
+	rng := rnd.New(3)
+	for i := 0; i < 1000; i++ {
+		node, _ := s.sample(rng)
+		if node < 0 || node >= 5 {
+			t.Fatalf("clamped hotset sampled %d out of range", node)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func testSpec(seed uint64) *Spec {
+	return &Spec{
+		Name:     "trace-test",
+		Duration: Duration(5 * time.Second),
+		Seed:     seed,
+		Classes: []ClassSpec{
+			{
+				Name:       "readers",
+				Arrival:    ArrivalSpec{Process: "poisson", RateRPS: 120},
+				Popularity: PopularitySpec{Dist: "zipf", S: 1.1},
+				Mix: []OpMix{
+					{Op: OpTopK, Weight: 0.5},
+					{Op: OpSingleSource, Weight: 0.3},
+					{Op: OpPair, Weight: 0.1},
+					{Op: OpBatch, Weight: 0.1},
+				},
+				K: 5, Batch: 4,
+			},
+			{
+				Name:       "writers",
+				Arrival:    ArrivalSpec{Process: "bursty", RateRPS: 2, BurstRateRPS: 40, OnMean: Duration(time.Second), OffMean: Duration(time.Second)},
+				Popularity: PopularitySpec{Dist: "uniform"},
+				Mix: []OpMix{
+					{Op: OpAddEdge, Weight: 0.7},
+					{Op: OpRemoveEdge, Weight: 0.3},
+				},
+			},
+		},
+		SLO: SLO{P99TargetMs: 100, AttainMs: 100, AttainTargetPct: 90, MaxErrorPct: 5},
+	}
+}
+
+func encodeTrace(t *testing.T, trace []Request) []byte {
+	t.Helper()
+	raw, err := json.Marshal(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestTraceReplayDeterminism is the acceptance property: the same
+// (spec, seed) must produce a byte-identical request trace on every run
+// and at every GOMAXPROCS.
+func TestTraceReplayDeterminism(t *testing.T) {
+	spec := testSpec(0xfeed)
+	first, err := spec.Trace(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("empty trace")
+	}
+	ref := encodeTrace(t, first)
+
+	for run := 0; run < 3; run++ {
+		again, err := spec.Trace(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref, encodeTrace(t, again)) {
+			t.Fatalf("run %d: trace differs from first run", run)
+		}
+	}
+
+	// GOMAXPROCS must be irrelevant: generation draws from explicit
+	// substreams, never from scheduler-ordered shared state.
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	again, err := spec.Trace(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, encodeTrace(t, again)) {
+		t.Fatal("trace differs under GOMAXPROCS=1")
+	}
+}
+
+// TestTraceSeedSensitivity: different seeds must give different traces
+// (the spec alone does not pin the traffic).
+func TestTraceSeedSensitivity(t *testing.T) {
+	a, err := testSpec(1).Trace(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testSpec(2).Trace(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(encodeTrace(t, a), encodeTrace(t, b)) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestTraceClassIsolation: adding a class must not disturb the requests
+// an existing class generates — each class owns substreams derived only
+// from (seed, class index).
+func TestTraceClassIsolation(t *testing.T) {
+	solo := testSpec(0xabc)
+	solo.Classes = solo.Classes[:1]
+	soloTrace, err := solo.Trace(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := testSpec(0xabc).Trace(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readersOnly []Request
+	for _, r := range both {
+		if r.Class == "readers" {
+			readersOnly = append(readersOnly, r)
+		}
+	}
+	if !bytes.Equal(encodeTrace(t, soloTrace), encodeTrace(t, readersOnly)) {
+		t.Fatal("adding a second class changed the first class's requests")
+	}
+}
+
+// TestTraceOrderedAndValid: the merged trace is time-ordered, every
+// request names in-range nodes, and every remove-edge was preceded by
+// its exact add-edge (so replay can never poison the server with an
+// unmatched removal).
+func TestTraceOrderedAndValid(t *testing.T) {
+	const n = 300
+	trace, err := testSpec(0x77).Trace(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := map[[2]int32]int{}
+	prev := time.Duration(-1)
+	for i, r := range trace {
+		if r.At < prev {
+			t.Fatalf("trace out of order at %d: %v after %v", i, r.At, prev)
+		}
+		prev = r.At
+		nodes := append([]int32{r.Node}, r.Nodes...)
+		if r.Op == OpPair || r.Op.isMutation() {
+			nodes = append(nodes, r.Node2)
+		}
+		for _, node := range nodes {
+			if node < 0 || node >= n {
+				t.Fatalf("request %d (%s) names out-of-range node %d", i, r.Op, node)
+			}
+		}
+		switch r.Op {
+		case OpAddEdge:
+			added[[2]int32{r.Node, r.Node2}]++
+		case OpRemoveEdge:
+			key := [2]int32{r.Node, r.Node2}
+			if added[key] == 0 {
+				t.Fatalf("request %d removes edge (%d,%d) that was never added", i, r.Node, r.Node2)
+			}
+			added[key]--
+		case OpBatch:
+			if len(r.Nodes) == 0 {
+				t.Fatalf("request %d: empty batch", i)
+			}
+		case OpTopK:
+			if r.K <= 0 {
+				t.Fatalf("request %d: topk without k", i)
+			}
+		}
+	}
+}
+
+// TestTraceRejectsClosedLoop: closed-loop specs have no pregenerated
+// trace.
+func TestTraceRejectsClosedLoop(t *testing.T) {
+	spec := &Spec{
+		Name:     "closed",
+		Duration: Duration(time.Second),
+		Classes: []ClassSpec{{
+			Name:       "c",
+			Arrival:    ArrivalSpec{Process: "closed", Concurrency: 4},
+			Popularity: PopularitySpec{Dist: "uniform"},
+			Mix:        []OpMix{{Op: OpSingleSource, Weight: 1}},
+		}},
+	}
+	if _, err := spec.Trace(100); err == nil {
+		t.Fatal("closed-loop spec produced a trace")
+	}
+}
+
+// TestSpecValidation exercises the structural error paths.
+func TestSpecValidation(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Duration = 0 },
+		func(s *Spec) { s.Classes = nil },
+		func(s *Spec) { s.Classes[0].Name = s.Classes[1].Name },
+		func(s *Spec) { s.Classes[0].Arrival.Process = "sawtooth" },
+		func(s *Spec) { s.Classes[0].Arrival.RateRPS = 0 },
+		func(s *Spec) { s.Classes[0].Popularity.Dist = "pareto" },
+		func(s *Spec) { s.Classes[0].Popularity = PopularitySpec{Dist: "zipf", S: 0} },
+		func(s *Spec) { s.Classes[0].Mix = nil },
+		func(s *Spec) { s.Classes[0].Mix[0].Weight = -1 },
+		func(s *Spec) { s.Classes[0].Mix[0].Op = "gossip" },
+		func(s *Spec) { s.Classes[0].SeedPolicy = "lucky" },
+		func(s *Spec) { s.Classes[1].Arrival.BurstRateRPS = 1 }, // <= base rate
+	}
+	for i, mutate := range bad {
+		spec := testSpec(1)
+		mutate(spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("mutation %d: invalid spec validated", i)
+		}
+	}
+	if err := testSpec(1).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestSpecJSONRoundTrip: a spec survives marshal → unmarshal, including
+// the human-readable duration encoding.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := testSpec(0x123)
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"duration":"5s"`)) {
+		t.Fatalf("duration not encoded as a duration string: %s", raw)
+	}
+	var back Spec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := spec.Trace(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Trace(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeTrace(t, a), encodeTrace(t, b)) {
+		t.Fatal("round-tripped spec generates a different trace")
+	}
+}
+
+// TestScenarioPresets: every shipped preset validates, generates a
+// non-empty deterministic trace, and carries a complete SLO.
+func TestScenarioPresets(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 3 {
+		t.Fatalf("want >= 3 presets, have %v", names)
+	}
+	for _, name := range names {
+		spec, err := Scenario(name, 10*time.Second, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Seed != DefaultSeed {
+			t.Errorf("%s: seed 0 not defaulted", name)
+		}
+		slo := spec.SLO
+		if slo.P50TargetMs <= 0 || slo.P99TargetMs <= 0 || slo.AttainMs <= 0 || slo.AttainTargetPct <= 0 {
+			t.Errorf("%s: incomplete SLO %+v", name, slo)
+		}
+		a, err := spec.Trace(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+		b, err := spec.Trace(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeTrace(t, a), encodeTrace(t, b)) {
+			t.Fatalf("%s: preset trace not deterministic", name)
+		}
+	}
+	if _, err := Scenario("no-such", 0, 0, 0); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
