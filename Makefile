@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt check bench bench-json serve smoke cluster-smoke cluster-bench workload-smoke
+.PHONY: all build test race vet lint fmt check bench bench-json serve smoke cluster-smoke cluster-bench workload-smoke obs-smoke
 
 all: check
 
@@ -30,7 +30,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet lint race
+check: fmt vet lint race obs-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -63,3 +63,9 @@ cluster-bench:
 # Override with e.g. DURATION=30s RATE_SCALE=1 for a real run.
 workload-smoke:
 	./scripts/workload_smoke.sh
+
+# Observability smoke: request-id echo + slow-query log + /debug/queries
+# spans, Prometheus-grammar validation of both daemons' /metricsz, and a
+# tracing-disabled SLO run → BENCH_PR9.json (see docs/observability.md).
+obs-smoke:
+	./scripts/obs_smoke.sh

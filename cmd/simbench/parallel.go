@@ -21,10 +21,11 @@ type parallelOptions struct {
 // stageTotals accumulates per-stage and end-to-end wall time over a query
 // workload.
 type stageTotals struct {
-	sourcePush, gamma, reversePush, total time.Duration
+	walk, sourcePush, gamma, reversePush, total time.Duration
 }
 
 func (st *stageTotals) add(res *simpush.Result, wall time.Duration) {
+	st.walk += res.Durations.Walk
 	st.sourcePush += res.Durations.SourcePush
 	st.gamma += res.Durations.Gamma
 	st.reversePush += res.Durations.ReversePush
@@ -70,6 +71,7 @@ func runParallelBench(w io.Writer, datasets []gen.Dataset, opt parallelOptions) 
 			stage    string
 			ser, par time.Duration
 		}{
+			{"walk", serial.walk, parallel.walk},
 			{"source-push", serial.sourcePush, parallel.sourcePush},
 			{"gamma", serial.gamma, parallel.gamma},
 			{"reverse-push", serial.reversePush, parallel.reversePush},

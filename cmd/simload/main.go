@@ -22,7 +22,11 @@
 //
 // The -out file aggregates one scored Report per scenario (see
 // docs/workloads.md for the schema); -strict exits nonzero when any
-// scenario misses its SLO.
+// scenario misses its SLO. When the target exposes /metricsz, each
+// report also carries a metrics_delta block — per-stage engine seconds,
+// admission waiting and cache movement over the run window (see
+// docs/observability.md). Diagnostics on stderr are structured logs
+// (-log-level, -log-format).
 package main
 
 import (
@@ -31,12 +35,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"github.com/simrank/simpush/internal/obs"
 	"github.com/simrank/simpush/internal/workload"
 )
 
@@ -69,8 +75,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		strict    = fs.Bool("strict", false, "exit nonzero when any scenario misses its SLO")
 		timeout   = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
 		maxOut    = fs.Int("max-outstanding", 256, "max concurrently outstanding open-loop requests")
+		logLevel  = fs.String("log-level", "info", "log level: debug | info | warn | error")
+		logFormat = fs.String("log-format", "text", "log format: text | json")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger, err := obs.NewLogger(stderr, *logLevel, *logFormat, "simload")
+	if err != nil {
+		fmt.Fprintln(stderr, "simload:", err)
 		return 2
 	}
 
@@ -83,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	specs, err := resolveSpecs(*scenario, *specPath, *duration, *seed, *rateScale)
 	if err != nil {
-		fmt.Fprintln(stderr, "simload:", err)
+		logger.Error("resolving workload", "error", err.Error())
 		return 2
 	}
 
@@ -91,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, spec := range specs {
 			raw, err := json.MarshalIndent(spec, "", "  ")
 			if err != nil {
-				fmt.Fprintln(stderr, "simload:", err)
+				logger.Error("marshaling spec", "error", err.Error())
 				return 1
 			}
 			fmt.Fprintf(stdout, "%s\n", raw)
@@ -100,7 +113,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *target == "" {
-		fmt.Fprintln(stderr, "simload: -target is required (or use -list / -validate)")
+		logger.Error("-target is required (or use -list / -validate)")
 		return 2
 	}
 
@@ -114,25 +127,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Target:      *target,
 		Pass:        true,
 	}
+	scrapeClient := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*target, "/")
 	for _, spec := range specs {
-		fmt.Fprintf(stderr, "simload: scenario %s: seed=%d duration=%s (replay with -seed %d)\n",
-			spec.Name, spec.Seed, time.Duration(spec.Duration), spec.Seed)
+		logger.Info("scenario start",
+			"scenario", spec.Name,
+			"seed", spec.Seed,
+			"duration", time.Duration(spec.Duration).String())
+		before := scrapeMetrics(scrapeClient, base)
 		rep, err := workload.Run(ctx, spec, workload.RunOptions{
 			Target:         *target,
 			Timeout:        *timeout,
 			MaxOutstanding: *maxOut,
 		})
 		if err != nil {
-			fmt.Fprintln(stderr, "simload:", err)
+			logger.Error("scenario failed", "scenario", spec.Name, "error", err.Error())
 			return 1
 		}
+		rep.Metrics = metricsDelta(before, scrapeMetrics(scrapeClient, base))
 		rep.WriteSummary(stdout)
 		bench.Scenarios = append(bench.Scenarios, rep)
 		if !rep.SLO.Pass {
 			bench.Pass = false
 		}
 		if ctx.Err() != nil {
-			fmt.Fprintln(stderr, "simload: interrupted; scoring what completed")
+			logger.Warn("interrupted; scoring what completed")
 			break
 		}
 	}
@@ -140,14 +159,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *out != "" {
 		raw, err := json.MarshalIndent(bench, "", "  ")
 		if err != nil {
-			fmt.Fprintln(stderr, "simload:", err)
+			logger.Error("marshaling bench file", "error", err.Error())
 			return 1
 		}
 		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
-			fmt.Fprintln(stderr, "simload:", err)
+			logger.Error("writing bench file", "error", err.Error())
 			return 1
 		}
-		fmt.Fprintf(stderr, "simload: wrote %s (%d scenarios)\n", *out, len(bench.Scenarios))
+		logger.Info("wrote bench file", "path", *out, "scenarios", len(bench.Scenarios))
 	}
 
 	if *strict && !bench.Pass {

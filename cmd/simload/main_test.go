@@ -107,6 +107,24 @@ func TestRunAllScenariosEmitsBench(t *testing.T) {
 		if rep.Latency.P50Ms <= 0 && rep.OK > 0 {
 			t.Errorf("%s: latency not measured", rep.Scenario)
 		}
+		if rep.Metrics == nil {
+			t.Errorf("%s: metrics_delta missing (target serves /metricsz)", rep.Scenario)
+		} else if rep.OK > 0 && rep.Metrics.CacheHits+rep.Metrics.CacheMisses == 0 {
+			t.Errorf("%s: metrics_delta shows no cache movement over %d ok requests", rep.Scenario, rep.OK)
+		}
+	}
+	// At least one scenario computes (cache cold at start), so per-stage
+	// engine seconds must have accumulated somewhere.
+	var stageSum float64
+	for _, rep := range bench.Scenarios {
+		if rep.Metrics != nil {
+			for _, v := range rep.Metrics.EngineStageSeconds {
+				stageSum += v
+			}
+		}
+	}
+	if stageSum <= 0 {
+		t.Error("metrics_delta engine_stage_seconds never accumulated across scenarios")
 	}
 	// fraud-neighbors mutates, so at least one report must show epoch
 	// movement.

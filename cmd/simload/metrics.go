@@ -1,0 +1,89 @@
+package main
+
+import (
+	"io"
+	"net/http"
+
+	"github.com/simrank/simpush/internal/obs"
+	"github.com/simrank/simpush/internal/workload"
+)
+
+// metricsSnapshot is the slice of a simrankd /metricsz scrape the report's
+// metrics_delta is computed from.
+type metricsSnapshot struct {
+	stages        map[string]float64
+	engineQueries float64
+	waits         float64
+	waitSeconds   float64
+	rejected      float64
+	cacheHits     float64
+	cacheMisses   float64
+}
+
+// scrapeMetrics reads the target's /metricsz and extracts the counters
+// metrics_delta tracks. Returns nil (no error) when the target does not
+// expose them — an older daemon, or a simproxy whose aggregate surface
+// uses different names — so runs against such targets simply omit the
+// block instead of failing.
+func scrapeMetrics(client *http.Client, base string) *metricsSnapshot {
+	resp, err := client.Get(base + "/metricsz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	samples, err := obs.ParseProm(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil
+	}
+	queries, ok := obs.FindSample(samples, "simrankd_client_queries_total", nil)
+	if !ok {
+		return nil
+	}
+	snap := &metricsSnapshot{stages: make(map[string]float64), engineQueries: queries}
+	for _, s := range samples {
+		if s.Name == "simrankd_engine_stage_seconds_total" && s.Labels["stage"] != "" {
+			snap.stages[s.Labels["stage"]] = s.Value
+		}
+	}
+	snap.waits, _ = obs.FindSample(samples, "simrankd_admission_waits_total", nil)
+	snap.waitSeconds, _ = obs.FindSample(samples, "simrankd_admission_wait_seconds_total", nil)
+	snap.rejected, _ = obs.FindSample(samples, "simrankd_admission_rejected_total", nil)
+	snap.cacheHits, _ = obs.FindSample(samples, "simrankd_cache_hits_total", nil)
+	snap.cacheMisses, _ = obs.FindSample(samples, "simrankd_cache_misses_total", nil)
+	return snap
+}
+
+// metricsDelta subtracts two scrapes taken around one scenario run. Either
+// side missing (target without /metricsz) yields nil and the report omits
+// the block.
+func metricsDelta(before, after *metricsSnapshot) *workload.MetricsDelta {
+	if before == nil || after == nil {
+		return nil
+	}
+	d := &workload.MetricsDelta{
+		EngineStageSeconds:   make(map[string]float64, len(after.stages)),
+		EngineQueries:        c2u(after.engineQueries - before.engineQueries),
+		AdmissionWaits:       c2u(after.waits - before.waits),
+		AdmissionWaitSeconds: max(after.waitSeconds-before.waitSeconds, 0),
+		AdmissionRejected:    c2u(after.rejected - before.rejected),
+		CacheHits:            c2u(after.cacheHits - before.cacheHits),
+		CacheMisses:          c2u(after.cacheMisses - before.cacheMisses),
+	}
+	for name, v := range after.stages {
+		d.EngineStageSeconds[name] = max(v-before.stages[name], 0)
+	}
+	return d
+}
+
+// c2u converts a counter difference to uint64, clamping the negative
+// deltas a mid-run restart would produce.
+func c2u(v float64) uint64 {
+	if v <= 0 {
+		return 0
+	}
+	return uint64(v)
+}

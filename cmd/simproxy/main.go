@@ -16,8 +16,15 @@
 //
 // Endpoints: the full simrankd query surface (/v1/single-source,
 // /v1/topk, /v1/pair, /v1/batch, /v1/edges) plus the proxy's own
-// /healthz (503 only when no replica is routable) and /statsz
-// (aggregate counters + a per-replica breakdown).
+// /healthz (503 only when no replica is routable), /statsz (aggregate
+// counters + a per-replica breakdown) and /metricsz (Prometheus text,
+// per-replica series under a "replica" label).
+//
+// Every request is stamped with an X-Request-Id (client-supplied ids
+// are kept) and the id is forwarded to the chosen replica, so one grep
+// follows a query across proxy and replica logs and traces. Logs are
+// structured (-log-level, -log-format); -debug-addr serves net/http/pprof
+// on a separate listener.
 //
 // Example (leader on :8081, followers on :8082/:8083):
 //
@@ -29,9 +36,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -39,6 +46,7 @@ import (
 	"time"
 
 	"github.com/simrank/simpush/internal/cluster"
+	"github.com/simrank/simpush/internal/obs"
 )
 
 type proxyConfig struct {
@@ -50,6 +58,9 @@ type proxyConfig struct {
 	probeTimeout  time.Duration
 	timeout       time.Duration
 	grace         time.Duration
+	logLevel      string
+	logFormat     string
+	debugAddr     string
 }
 
 func main() {
@@ -62,6 +73,9 @@ func main() {
 	flag.DurationVar(&cfg.probeTimeout, "probe-timeout", 2*time.Second, "per-probe deadline")
 	flag.DurationVar(&cfg.timeout, "timeout", 90*time.Second, "proxied request deadline")
 	flag.DurationVar(&cfg.grace, "grace", 15*time.Second, "shutdown drain budget")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug | info | warn | error")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log format: text | json")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -76,7 +90,10 @@ func main() {
 // listener fails. If ready is non-nil it receives the bound address once
 // the proxy is listening.
 func run(ctx context.Context, cfg proxyConfig, ready chan<- string) error {
-	logger := log.New(os.Stderr, "simproxy: ", log.LstdFlags)
+	logger, err := obs.NewLogger(os.Stderr, cfg.logLevel, cfg.logFormat, "simproxy")
+	if err != nil {
+		return err
+	}
 
 	if strings.TrimSpace(cfg.replicas) == "" {
 		return errors.New("-replicas is required (comma-separated simrankd base URLs)")
@@ -92,14 +109,29 @@ func run(ctx context.Context, cfg proxyConfig, ready chan<- string) error {
 		MaxLag:        cfg.maxLag,
 		ProbeInterval: cfg.probeInterval,
 		ProbeTimeout:  cfg.probeTimeout,
-		Logf:          logger.Printf,
+		Logger:        logger,
 	})
 	if err != nil {
 		return err
 	}
-	proxy, err := cluster.New(cluster.Config{Set: set, Policy: cfg.policy, Timeout: cfg.timeout})
+	proxy, err := cluster.New(cluster.Config{Set: set, Policy: cfg.policy, Timeout: cfg.timeout, Logger: logger})
 	if err != nil {
 		return err
+	}
+
+	if cfg.debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		logger.Info("pprof listening", "debug_addr", dln.Addr().String())
+		go http.Serve(dln, dmux)
 	}
 
 	// Probe before accepting traffic so the first request already routes
@@ -112,8 +144,11 @@ func run(ctx context.Context, cfg proxyConfig, ready chan<- string) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: proxy.Handler()}
-	logger.Printf("routing %d replicas (%d routable) by %s on %s",
-		len(set.Replicas()), len(set.Routable()), proxy.Policy().Name(), ln.Addr())
+	logger.Info("proxy listening",
+		"addr", ln.Addr().String(),
+		"replicas", len(set.Replicas()),
+		"routable", len(set.Routable()),
+		"policy", proxy.Policy().Name())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -127,13 +162,13 @@ func run(ctx context.Context, cfg proxyConfig, ready chan<- string) error {
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutdown: draining (budget %s)", cfg.grace)
+	logger.Info("shutdown: draining", "budget", cfg.grace.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("shutdown: %v (forcing close)", err)
+		logger.Warn("shutdown: forcing close", "error", err.Error())
 		httpSrv.Close()
 	}
-	logger.Printf("shutdown: drained cleanly")
+	logger.Info("shutdown: drained cleanly")
 	return nil
 }

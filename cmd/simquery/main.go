@@ -87,8 +87,8 @@ func run(ctx context.Context, path string, binary, undirected bool, u int32, k i
 		elapsed := time.Since(t1)
 		fmt.Printf("query u=%d: %v (L=%d, %d attention nodes, %d walks)\n",
 			u, elapsed, res.L, len(res.Attention), res.Walks)
-		fmt.Printf("stages: source-push=%v gamma=%v reverse-push=%v\n",
-			res.Durations.SourcePush, res.Durations.Gamma, res.Durations.ReversePush)
+		fmt.Printf("stages: walk=%v source-push=%v gamma=%v reverse-push=%v\n",
+			res.Durations.Walk, res.Durations.SourcePush, res.Durations.Gamma, res.Durations.ReversePush)
 		printTop(simpush.TopK(res.Scores, k, u))
 		return nil
 	}

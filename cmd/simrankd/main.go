@@ -14,7 +14,16 @@
 //	DELETE /v1/edges          remove edges (live source)
 //	GET    /healthz           liveness/readiness (503 while draining)
 //	GET    /statsz            serving counters as JSON
+//	GET    /metricsz          Prometheus text exposition
+//	GET    /debug/queries     last-N completed query traces (with -trace-queries)
 //	GET    /v1/replication    leader-only mutation feed (with -lead)
+//
+// Observability: every response carries an X-Request-Id (client-supplied
+// ids are echoed); -trace-queries keeps a ring of completed query traces
+// with per-stage engine spans; -slow-query-ms logs slow queries with
+// their spans; logs are structured (-log-level, -log-format);
+// -debug-addr serves net/http/pprof on a separate listener (see
+// docs/observability.md).
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the daemon flips /healthz to
 // 503, stops accepting connections, lets in-flight requests finish
@@ -41,15 +50,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/simrank/simpush"
+	"github.com/simrank/simpush/internal/obs"
 	"github.com/simrank/simpush/internal/server"
 )
 
@@ -78,6 +88,12 @@ type daemonConfig struct {
 	lead           bool
 	follow         string
 	replicationLog int
+
+	traceQueries int
+	slowQueryMs  int
+	debugAddr    string
+	logLevel     string
+	logFormat    string
 }
 
 func main() {
@@ -103,6 +119,11 @@ func main() {
 	flag.BoolVar(&cfg.lead, "lead", false, "serve as the cluster's replication leader: accept writes and publish the mutation feed on /v1/replication")
 	flag.StringVar(&cfg.follow, "follow", "", "serve as a follower of this leader base URL: reject direct writes and replay the leader's mutation feed")
 	flag.IntVar(&cfg.replicationLog, "replication-log", 1024, "mutation batches the leader retains for followers (with -lead)")
+	flag.IntVar(&cfg.traceQueries, "trace-queries", 128, "completed query traces retained for /debug/queries (0 disables the ring)")
+	flag.IntVar(&cfg.slowQueryMs, "slow-query-ms", 0, "log queries at least this slow with their per-stage spans (0 disables)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug | info | warn | error")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log format: text | json")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -140,7 +161,10 @@ func loadSource(cfg daemonConfig) (simpush.GraphSource, *simpush.Graph, error) {
 // listener fails. If ready is non-nil it receives the bound address once
 // the server is listening — the hook the tests and :0 use.
 func run(ctx context.Context, cfg daemonConfig, ready chan<- string) error {
-	logger := log.New(os.Stderr, "simrankd: ", log.LstdFlags)
+	logger, err := obs.NewLogger(os.Stderr, cfg.logLevel, cfg.logFormat, "simrankd")
+	if err != nil {
+		return err
+	}
 
 	role := server.RoleStandalone
 	switch {
@@ -178,11 +202,29 @@ func run(ctx context.Context, cfg daemonConfig, ready chan<- string) error {
 		Role:           role,
 		LeaderURL:      cfg.follow,
 		ReplicationLog: cfg.replicationLog,
+		TraceRing:      cfg.traceQueries,
+		SlowQuery:      time.Duration(cfg.slowQueryMs) * time.Millisecond,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
 	}
 	srv.StartReplication(ctx)
+
+	if cfg.debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		logger.Info("pprof listening", "debug_addr", dln.Addr().String())
+		go http.Serve(dln, dmux)
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -196,7 +238,11 @@ func run(ctx context.Context, cfg daemonConfig, ready chan<- string) error {
 	if role != server.RoleStandalone {
 		mode += " " + string(role)
 	}
-	logger.Printf("serving %s graph (n=%d, m=%d) on %s", mode, g.N(), g.M(), ln.Addr())
+	logger.Info("daemon listening",
+		"addr", ln.Addr().String(),
+		"mode", mode,
+		"graph_n", g.N(),
+		"graph_m", g.M())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -213,17 +259,17 @@ func run(ctx context.Context, cfg daemonConfig, ready chan<- string) error {
 	// Graceful drain: flip /healthz first so load balancers stop routing
 	// here, then stop accepting and let in-flight requests finish, then
 	// fail any stragglers fast by closing the client.
-	logger.Printf("shutdown: draining (budget %s)", cfg.grace)
+	logger.Info("shutdown: draining", "budget", cfg.grace.String())
 	srv.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("shutdown: %v (forcing close)", err)
+		logger.Warn("shutdown: forcing close", "error", err.Error())
 		httpSrv.Close()
 	}
 	if err := client.Close(); err != nil {
 		return err
 	}
-	logger.Printf("shutdown: drained cleanly")
+	logger.Info("shutdown: drained cleanly")
 	return nil
 }

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"github.com/simrank/simpush/internal/obs"
+)
+
+// GET /metricsz renders the proxy's own counters plus one series per
+// replica (under a "replica" label) in Prometheus text format. Like
+// /statsz it refreshes the probe state first (bounded) so the
+// per-replica numbers are current.
+func (p *Proxy) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeProxyError(w, http.StatusMethodNotAllowed, "method_not_allowed", "method not allowed")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	p.set.ProbeOnce(ctx)
+	cancel()
+	st := p.Stats()
+
+	w.Header().Set("Content-Type", obs.ContentType)
+	mw := obs.NewMetricsWriter(w)
+
+	mw.Gauge("simproxy_uptime_seconds", "Seconds since the proxy started.")
+	mw.Sample("simproxy_uptime_seconds", nil, st.UptimeSeconds)
+	mw.Counter("simproxy_requests_total", "Requests accepted by the proxy.")
+	mw.Sample("simproxy_requests_total", nil, float64(st.Requests))
+	mw.Counter("simproxy_writes_total", "Mutations forwarded to the leader.")
+	mw.Sample("simproxy_writes_total", nil, float64(st.Writes))
+	mw.Counter("simproxy_retries_total", "Reads retried on a second replica.")
+	mw.Sample("simproxy_retries_total", nil, float64(st.Retries))
+	mw.Counter("simproxy_failovers_total", "Reads answered by the retry replica.")
+	mw.Sample("simproxy_failovers_total", nil, float64(st.Failovers))
+	mw.Counter("simproxy_no_replica_total", "Requests rejected with 503 (no routable replica or leader).")
+	mw.Sample("simproxy_no_replica_total", nil, float64(st.NoReplica))
+	mw.Counter("simproxy_bad_gateway_total", "Requests answered 502 after transport failures.")
+	mw.Sample("simproxy_bad_gateway_total", nil, float64(st.BadGateway))
+	mw.Gauge("simproxy_routable_replicas", "Replicas reads may currently be routed to.")
+	mw.Sample("simproxy_routable_replicas", nil, float64(st.Routable))
+	mw.Gauge("simproxy_replicas", "Configured roster size.")
+	mw.Sample("simproxy_replicas", nil, float64(len(st.Replicas)))
+	mw.Gauge("simproxy_epoch", "Highest epoch among routable replicas.")
+	mw.Sample("simproxy_epoch", nil, float64(st.Epoch))
+
+	mw.Gauge("simproxy_replica_up", "1 when the replica's /healthz answers 200.")
+	for _, rs := range st.Replicas {
+		mw.Sample("simproxy_replica_up", obs.L("replica", rs.Name), b2f(rs.Healthy))
+	}
+	mw.Gauge("simproxy_replica_routable", "1 when reads may be routed to the replica.")
+	for _, rs := range st.Replicas {
+		mw.Sample("simproxy_replica_routable", obs.L("replica", rs.Name), b2f(rs.Routable))
+	}
+	mw.Gauge("simproxy_replica_leader", "1 on the replica claiming the leader role.")
+	for _, rs := range st.Replicas {
+		mw.Sample("simproxy_replica_leader", obs.L("replica", rs.Name), b2f(rs.Leader))
+	}
+	mw.Gauge("simproxy_replica_epoch", "Last probed applied epoch of the replica.")
+	for _, rs := range st.Replicas {
+		mw.Sample("simproxy_replica_epoch", obs.L("replica", rs.Name), float64(rs.Epoch))
+	}
+	mw.Gauge("simproxy_replica_lag", "Replication lag (epochs) behind the leader.")
+	for _, rs := range st.Replicas {
+		mw.Sample("simproxy_replica_lag", obs.L("replica", rs.Name), float64(rs.Lag))
+	}
+	mw.Gauge("simproxy_replica_in_flight", "Open requests against the replica (probe + local).")
+	for _, rs := range st.Replicas {
+		mw.Sample("simproxy_replica_in_flight", obs.L("replica", rs.Name), float64(rs.InFlight))
+	}
+	mw.Counter("simproxy_replica_requests_proxied_total", "Requests this proxy has sent to the replica.")
+	for _, rs := range st.Replicas {
+		mw.Sample("simproxy_replica_requests_proxied_total", obs.L("replica", rs.Name), float64(rs.Proxied))
+	}
+	mw.Counter("simproxy_replica_cache_hits_total", "Result-cache hits on the replica (from its last probe).")
+	for _, rs := range st.Replicas {
+		mw.Sample("simproxy_replica_cache_hits_total", obs.L("replica", rs.Name), float64(rs.Cache.Hits))
+	}
+	mw.Counter("simproxy_replica_cache_misses_total", "Result-cache misses on the replica (from its last probe).")
+	for _, rs := range st.Replicas {
+		mw.Sample("simproxy_replica_cache_misses_total", obs.L("replica", rs.Name), float64(rs.Cache.Misses))
+	}
+	mw.Counter("simproxy_replica_engine_queries_total", "Engine queries run by the replica (from its last probe).")
+	for _, rs := range st.Replicas {
+		mw.Sample("simproxy_replica_engine_queries_total", obs.L("replica", rs.Name), float64(rs.EngineQueries))
+	}
+
+	if err := mw.Err(); err != nil {
+		p.logger.Warn("writing /metricsz", "error", err)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"github.com/simrank/simpush/internal/cache"
+	"github.com/simrank/simpush/internal/obs"
 	"github.com/simrank/simpush/internal/server"
 )
 
@@ -33,6 +35,10 @@ type Config struct {
 	// the replicas' own MaxTimeout so the replica-side deadline, with its
 	// more precise 504, fires first).
 	Timeout time.Duration
+
+	// Logger receives the proxy's structured logs (failovers, bad
+	// gateways). nil discards them.
+	Logger *slog.Logger
 }
 
 // Proxy is the simproxy HTTP handler: it fronts a replica Set, routes
@@ -43,6 +49,7 @@ type Proxy struct {
 	client *http.Client
 	mux    *http.ServeMux
 	start  time.Time
+	logger *slog.Logger
 
 	requests  counter
 	writes    counter
@@ -65,6 +72,9 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 90 * time.Second
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Discard()
+	}
 	policy, err := NewPolicy(cfg.Policy, cfg.Set.Replicas())
 	if err != nil {
 		return nil, err
@@ -75,6 +85,7 @@ func New(cfg Config) (*Proxy, error) {
 		client: &http.Client{Timeout: cfg.Timeout},
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
+		logger: cfg.Logger,
 	}
 	p.mux.HandleFunc("/v1/single-source", p.handleRead)
 	p.mux.HandleFunc("/v1/topk", p.handleRead)
@@ -83,6 +94,7 @@ func New(cfg Config) (*Proxy, error) {
 	p.mux.HandleFunc("/v1/edges", p.handleWrite)
 	p.mux.HandleFunc("/healthz", p.handleHealthz)
 	p.mux.HandleFunc("/statsz", p.handleStatsz)
+	p.mux.HandleFunc("/metricsz", p.handleMetricsz)
 	return p, nil
 }
 
@@ -94,12 +106,29 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.mux.ServeH
 // Policy returns the active routing policy.
 func (p *Proxy) Policy() RoutingPolicy { return p.policy }
 
+// ensureRequestID establishes the request's correlation id: a sane
+// client-supplied X-Request-Id is kept, anything else replaced by a
+// minted one. The id is set on both the inbound request header (so
+// forwarding to a replica propagates it) and the response header (so the
+// client sees it even on proxy-originated errors).
+func ensureRequestID(w http.ResponseWriter, r *http.Request) string {
+	id := obs.SanitizeRequestID(r.Header.Get(obs.RequestIDHeader))
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	r.Header.Set(obs.RequestIDHeader, id)
+	w.Header().Set(obs.RequestIDHeader, id)
+	return id
+}
+
 func writeProxyError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	body := map[string]string{"error": fmt.Sprintf(format, args...), "code": code}
+	if id := w.Header().Get(obs.RequestIDHeader); id != "" {
+		body["request_id"] = id
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{
-		"error": fmt.Sprintf(format, args...), "code": code,
-	})
+	json.NewEncoder(w).Encode(body)
 }
 
 // affinityNode extracts the routing key of a read: the source node of
@@ -126,8 +155,10 @@ func affinityNode(r *http.Request, body []byte) (int32, bool) {
 	return 0, false
 }
 
-// do forwards one request to rep and returns the replica's response.
-func (p *Proxy) do(ctx context.Context, rep *Replica, method, uri, contentType string, body []byte) (*http.Response, error) {
+// do forwards one request to rep and returns the replica's response. The
+// request id rides along so the replica's trace and logs correlate with
+// the proxy's.
+func (p *Proxy) do(ctx context.Context, rep *Replica, method, uri, contentType, requestID string, body []byte) (*http.Response, error) {
 	var rd io.Reader
 	if len(body) > 0 {
 		rd = bytes.NewReader(body)
@@ -138,6 +169,9 @@ func (p *Proxy) do(ctx context.Context, rep *Replica, method, uri, contentType s
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if requestID != "" {
+		req.Header.Set(obs.RequestIDHeader, requestID)
 	}
 	rep.proxied.Add(1)
 	rep.outstanding.Add(1)
@@ -171,6 +205,7 @@ func retryable(resp *http.Response, err error) bool {
 // another routable replica on 429/5xx or a transport error.
 func (p *Proxy) handleRead(w http.ResponseWriter, r *http.Request) {
 	p.requests.v.Add(1)
+	id := ensureRequestID(w, r)
 	var body []byte
 	if r.Body != nil {
 		b, err := io.ReadAll(r.Body)
@@ -191,7 +226,7 @@ func (p *Proxy) handleRead(w http.ResponseWriter, r *http.Request) {
 	uri := r.URL.RequestURI()
 	ct := r.Header.Get("Content-Type")
 
-	resp, err := p.do(r.Context(), rep, r.Method, uri, ct, body)
+	resp, err := p.do(r.Context(), rep, r.Method, uri, ct, id, body)
 	if retryable(resp, err) && len(candidates) > 1 {
 		rest := make([]*Replica, 0, len(candidates)-1)
 		for _, c := range candidates {
@@ -201,7 +236,14 @@ func (p *Proxy) handleRead(w http.ResponseWriter, r *http.Request) {
 		}
 		p.retries.v.Add(1)
 		rep2 := p.policy.Pick(node, hasNode, rest)
-		resp2, err2 := p.do(r.Context(), rep2, r.Method, uri, ct, body)
+		firstStatus := 0
+		if err == nil {
+			firstStatus = resp.StatusCode
+		}
+		p.logger.Warn("read retry",
+			"request_id", id, "uri", uri, "replica", rep.Name,
+			"status", firstStatus, "error", errString(err), "retry_replica", rep2.Name)
+		resp2, err2 := p.do(r.Context(), rep2, r.Method, uri, ct, id, body)
 		if err2 == nil && (err != nil || !retryable(resp2, nil) || resp2.StatusCode <= resp.StatusCode) {
 			// Prefer the retry's answer unless it is strictly worse than
 			// what the first replica already said.
@@ -218,10 +260,19 @@ func (p *Proxy) handleRead(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		p.badGW.v.Add(1)
+		p.logger.Warn("bad gateway", "request_id", id, "uri", uri, "replica", rep.Name, "error", err.Error())
 		writeProxyError(w, http.StatusBadGateway, "bad_gateway", "replica %s: %v", rep.Name, err)
 		return
 	}
 	p.relay(w, resp, rep)
+}
+
+// errString renders an error for a log attribute ("" when nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // handleWrite forwards a mutation to the leader. Writes are never
@@ -230,6 +281,7 @@ func (p *Proxy) handleRead(w http.ResponseWriter, r *http.Request) {
 func (p *Proxy) handleWrite(w http.ResponseWriter, r *http.Request) {
 	p.requests.v.Add(1)
 	p.writes.v.Add(1)
+	id := ensureRequestID(w, r)
 	leader := p.set.Leader()
 	if leader == nil {
 		p.noReplica.v.Add(1)
@@ -241,9 +293,10 @@ func (p *Proxy) handleWrite(w http.ResponseWriter, r *http.Request) {
 		writeProxyError(w, http.StatusBadRequest, "bad_body", "reading request body: %v", err)
 		return
 	}
-	resp, err := p.do(r.Context(), leader, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+	resp, err := p.do(r.Context(), leader, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), id, body)
 	if err != nil {
 		p.badGW.v.Add(1)
+		p.logger.Warn("bad gateway", "request_id", id, "uri", r.URL.RequestURI(), "replica", leader.Name, "error", err.Error())
 		writeProxyError(w, http.StatusBadGateway, "bad_gateway", "leader %s: %v", leader.Name, err)
 		return
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/simrank/simpush"
+	"github.com/simrank/simpush/internal/obs"
 	"github.com/simrank/simpush/internal/server"
 )
 
@@ -40,7 +41,7 @@ func newReplicaServer(t *testing.T, role server.Role, leaderURL string) *server.
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { client.Close() })
-	srv, err := server.New(server.Config{Client: client, Role: role, LeaderURL: leaderURL})
+	srv, err := server.New(server.Config{Client: client, Role: role, LeaderURL: leaderURL, TraceRing: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,6 +373,79 @@ func TestProxyNoRoutableReplica(t *testing.T) {
 	p.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/edges", strings.NewReader(`{"from":0,"to":1}`)))
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("write with no leader = %d, want 503", rec.Code)
+	}
+}
+
+// TestProxyRequestIDPropagation: a client-supplied X-Request-Id survives
+// proxy → replica → response, and the serving replica's /debug/queries
+// records the trace under that id with per-stage engine spans.
+func TestProxyRequestIDPropagation(t *testing.T) {
+	c := startCluster(t, "hash")
+
+	req, err := http.NewRequest(http.MethodGet, c.proxy.URL+"/v1/single-source?node=9&seed=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.RequestIDHeader, "prop-test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied read = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "prop-test-1" {
+		t.Fatalf("response request id = %q, want the client's prop-test-1", got)
+	}
+	via := resp.Header.Get(ReplicaHeader)
+	if via == "" {
+		t.Fatal("response missing the replica header")
+	}
+
+	// The serving replica's trace ring must hold the id, with the engine
+	// stages of the computed query spelled out.
+	code, _, dbg := get(t, "http://"+via+"/debug/queries")
+	if code != http.StatusOK {
+		t.Fatalf("replica /debug/queries = %d", code)
+	}
+	queries, _ := dbg["queries"].([]any)
+	var trace map[string]any
+	for _, q := range queries {
+		qm := q.(map[string]any)
+		if qm["request_id"] == "prop-test-1" {
+			trace = qm
+			break
+		}
+	}
+	if trace == nil {
+		t.Fatalf("replica %s trace ring has no record for prop-test-1: %v", via, dbg)
+	}
+	if trace["cache"] != "computed" {
+		t.Errorf("trace cache outcome = %v, want computed", trace["cache"])
+	}
+	spans := map[string]bool{}
+	if ss, ok := trace["spans"].([]any); ok {
+		for _, sp := range ss {
+			spans[sp.(map[string]any)["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"walk", "source_push", "gamma", "reverse_push"} {
+		if !spans[want] {
+			t.Errorf("trace missing engine span %q (has %v)", want, spans)
+		}
+	}
+
+	// Without a client id the proxy mints one and still echoes it.
+	resp2, err := http.Get(c.proxy.URL + "/v1/topk?node=4&k=3&seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.Header.Get(obs.RequestIDHeader) == "" {
+		t.Error("proxy did not mint a request id for an id-less request")
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/simrank/simpush/internal/obs"
 	"github.com/simrank/simpush/internal/server"
 )
 
@@ -85,8 +87,9 @@ type SetConfig struct {
 	// ProbeTimeout bounds one probe round-trip (default 2s).
 	ProbeTimeout time.Duration
 
-	// Logf, when set, receives one line per replica state transition.
-	Logf func(format string, args ...any)
+	// Logger receives one structured line per replica state transition.
+	// nil discards them.
+	Logger *slog.Logger
 }
 
 // Set is a fixed roster of replicas plus the prober that keeps their
@@ -110,6 +113,9 @@ func NewSet(cfg SetConfig) (*Set, error) {
 	}
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Discard()
 	}
 	s := &Set{cfg: cfg, client: &http.Client{Timeout: cfg.ProbeTimeout}}
 	seen := map[string]bool{}
@@ -244,8 +250,9 @@ func (s *Set) probe(ctx context.Context, r *Replica) {
 	r.healthy.Store(healthOK)
 	r.routable.Store(routable)
 	r.status.Store(status)
-	if s.cfg.Logf != nil && (prev != status || wasRoutable != routable) {
-		s.cfg.Logf("replica %s: %s -> %s (routable=%v, lag=%d)", r.Name, prev, status, routable, lag)
+	if prev != status || wasRoutable != routable {
+		s.cfg.Logger.Info("replica state change",
+			"replica", r.Name, "from", prev, "to", status, "routable", routable, "lag", lag)
 	}
 }
 

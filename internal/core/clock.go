@@ -11,3 +11,18 @@ import "time"
 func stageNow() time.Time {
 	return time.Now() //lint:allow detmerge stage-duration observability only; the value never reaches scores or control flow
 }
+
+// sysClock is the default Clock: the process wall clock through
+// stageNow, this package's single annotated time.Now read.
+type sysClock struct{}
+
+func (sysClock) Now() time.Time { return stageNow() }
+
+// clock resolves the effective Clock (Options.Clock, defaulting to the
+// system clock).
+func (o Options) clock() Clock {
+	if o.Clock != nil {
+		return o.Clock
+	}
+	return sysClock{}
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // LevelDetectMode selects the sample-size rule for the max-level detection
@@ -36,6 +37,16 @@ const (
 	// the ablation that shows why Algorithm 2 samples walks at all.
 	LevelDetectDeterministic
 )
+
+// Clock supplies the stage timestamps behind Result.Durations. It is an
+// interface rather than a func type on purpose: Options must stay
+// comparable (the root package's batch dispatcher uses it inside a map
+// key), and interface values holding comparable implementations are.
+// Implementations must be cheap — Now is called a handful of times per
+// query, never inside a stage loop.
+type Clock interface {
+	Now() time.Time
+}
 
 // Options configures a SimPush engine. The zero value of each field selects
 // the paper's defaults.
@@ -67,6 +78,11 @@ type Options struct {
 	// valid) estimates, because walk substreams and floating-point
 	// reduction order depend on the shard layout.
 	Parallelism int
+	// Clock overrides the wall clock behind Result.Durations — injected
+	// by tests and the observability layer so the engine itself performs
+	// no ambient time.Now reads (the detmerge invariant). nil uses the
+	// process clock. Timestamps never reach scores or control flow.
+	Clock Clock
 }
 
 func (o Options) withDefaults() Options {

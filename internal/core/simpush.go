@@ -88,6 +88,7 @@ type queryState struct {
 	att        []attNode
 	attByLevel [][]int32 // attention indices per level (1..L)
 	vecs       [][][]ventry
+	tWalkDone  time.Time // walk-sampling → push boundary, for Durations
 }
 
 // AttentionInfo describes one attention node of a query, for diagnostics
@@ -99,8 +100,13 @@ type AttentionInfo struct {
 	Gamma float64 // γ^(ℓ)(Node)
 }
 
-// StageDurations reports per-stage wall time of one query.
+// StageDurations reports per-stage wall time of one query: the √c-walk
+// level-detection sample (Algorithm 2 lines 1-8), the Source-Push
+// frontier expansion (rest of Algorithm 2), the last-meeting γ
+// correction (Algorithms 3-4), and the Reverse-Push accumulation
+// (Algorithm 5). Timestamps come from Options.Clock.
 type StageDurations struct {
+	Walk        time.Duration
 	SourcePush  time.Duration
 	Gamma       time.Duration
 	ReversePush time.Duration
@@ -252,13 +258,14 @@ func (sp *SimPush) QueryCtx(ctx context.Context, u int32, qo QueryOpts) (*Result
 		return nil, err
 	}
 	qs := &queryState{u: u, opt: opt, p: p}
+	clk := sp.opt.clock()
 
-	t0 := stageNow()
+	t0 := clk.Now()
 	if err := sp.sourcePush(ctx, qs); err != nil { // Algorithm 2
 		sp.resetSlots(qs)
 		return nil, err
 	}
-	t1 := stageNow()
+	t1 := clk.Now()
 
 	if opt.DisableGamma {
 		for i := range qs.att {
@@ -274,21 +281,22 @@ func (sp *SimPush) QueryCtx(ctx context.Context, u int32, qo QueryOpts) (*Result
 			return nil, err
 		}
 	}
-	t2 := stageNow()
+	t2 := clk.Now()
 
 	scores := make([]float64, sp.g.N())
 	if err := sp.reversePush(ctx, qs, scores); err != nil { // Algorithm 5
 		sp.resetSlots(qs)
 		return nil, err
 	}
-	t3 := stageNow()
+	t3 := clk.Now()
 
 	res := &Result{
 		Scores: scores,
 		L:      qs.L,
 		Walks:  p.nWalks,
 		Durations: StageDurations{
-			SourcePush:  t1.Sub(t0),
+			Walk:        qs.tWalkDone.Sub(t0),
+			SourcePush:  t1.Sub(qs.tWalkDone),
 			Gamma:       t2.Sub(t1),
 			ReversePush: t3.Sub(t2),
 		},

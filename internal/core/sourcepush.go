@@ -10,7 +10,9 @@ const walkCtxBatch = 256
 // sampling, then computes the exact hitting probabilities h^(ℓ)(u, ·) for
 // ℓ = 0..L by deterministic residue propagation over in-edges, recording
 // the source graph G_u level by level, and finally extracts the attention
-// sets A_u^(ℓ) = {w : h^(ℓ)(u, w) ≥ ε_h}.
+// sets A_u^(ℓ) = {w : h^(ℓ)(u, w) ≥ ε_h}. The instant between the two
+// halves is recorded in qs.tWalkDone so QueryCtx can report the walk
+// sample and the push as separate Durations stages.
 //
 // Cancellation is checked between walk batches and between levels; an
 // abort happens only at those boundaries, where the engine scratch
@@ -22,6 +24,7 @@ func (sp *SimPush) sourcePush(ctx context.Context, qs *queryState) error {
 		return err
 	}
 	qs.L = L
+	qs.tWalkDone = sp.opt.clock().Now()
 
 	// Level 0 holds only the query node with h^(0)(u, u) = 1.
 	sp.slotLevel(0)[qs.u] = 0

@@ -55,6 +55,18 @@ func since(start, end time.Time) time.Duration {
 	return end.Sub(start)
 }
 
+// Correct negative: an injected clock (the core.Clock pattern the engine
+// uses for stage timing) is not an ambient wall-clock read — the caller
+// decides what "now" is, so observability spans stay out of the
+// deterministic result path.
+type clock interface{ Now() time.Time }
+
+func timedStage(clk clock, work func()) time.Duration {
+	start := clk.Now()
+	work()
+	return clk.Now().Sub(start)
+}
+
 // True positive: channel-arrival collection order is scheduling order.
 func channelCollect(parts chan []float64, out []float64) {
 	for part := range parts { // want "channel-arrival order"

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the daemons' structured logger: level is one of
+// debug/info/warn/error, format one of text/json, and component tags
+// every record (simrankd, simproxy, simload) so merged log streams stay
+// attributable.
+func NewLogger(w io.Writer, level, format, component string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(h).With("component", component), nil
+}
+
+// Discard is a logger that drops everything — the default for library
+// layers when the caller doesn't wire one.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }

@@ -1,0 +1,77 @@
+// Package obs is the dependency-free observability layer shared by the
+// serving stack (simproxy → simrankd → engine): request-scoped traces
+// with per-stage spans, a ring buffer of completed traces for
+// /debug/queries, a Prometheus-text-format writer and parser for
+// /metricsz, request-id minting/propagation, and log/slog construction
+// helpers.
+//
+// The package imports only the standard library and nothing from the
+// rest of the repository, so every layer — including internal/core via
+// the Clock interface — can depend on it without cycles.
+//
+// Tracing is zero-allocation when disabled: all *Trace methods are
+// nil-safe, so a handler carries a nil trace on the off path and every
+// recording call reduces to one pointer test — no allocation, no clock
+// read.
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the correlation header minted by the outermost
+// layer (simproxy when present, simrankd otherwise) and echoed on every
+// response, including errors.
+const RequestIDHeader = "X-Request-Id"
+
+// SystemClock reads the process wall clock. It is a comparable struct —
+// deliberately not a func type — so option structs carrying a Clock stay
+// usable as map keys (internal/core's Options is one).
+type SystemClock struct{}
+
+// Now returns the current wall-clock time.
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// ridPrefix makes ids from concurrent processes (a proxy and its
+// replicas, say) collision-free without coordination; the per-process
+// counter makes them unique and cheap.
+var ridPrefix = func() string {
+	var b [6]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		binary.LittleEndian.PutUint32(b[:4], uint32(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var ridCounter atomic.Uint64
+
+// NewRequestID mints a process-unique request id: a random per-process
+// prefix plus a counter. One small string allocation, no syscalls.
+func NewRequestID() string {
+	return ridPrefix + "-" + strconv.FormatUint(ridCounter.Add(1), 16)
+}
+
+// maxRequestIDLen bounds accepted client-supplied ids so a hostile
+// header cannot bloat logs and trace records.
+const maxRequestIDLen = 128
+
+// SanitizeRequestID validates a client-supplied request id: printable
+// ASCII without spaces or quotes, at most 128 bytes. It returns "" when
+// the id is unusable, telling the caller to mint a fresh one.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestIDs(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatalf("consecutive ids collide: %q", a)
+	}
+	if SanitizeRequestID(a) != a {
+		t.Errorf("minted id %q did not survive sanitization", a)
+	}
+	bad := []string{
+		"", "has space", "has\"quote", `back\slash`, "ctrl\x01char",
+		strings.Repeat("x", maxRequestIDLen+1),
+	}
+	for _, id := range bad {
+		if got := SanitizeRequestID(id); got != "" {
+			t.Errorf("SanitizeRequestID(%q) = %q, want rejection", id, got)
+		}
+	}
+	if got := SanitizeRequestID("client-id_42.A"); got != "client-id_42.A" {
+		t.Errorf("plain id rejected: %q", got)
+	}
+}
+
+func TestNilTraceIsSafeAndFree(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	if !tr.Now().IsZero() {
+		t.Fatal("nil trace read the clock")
+	}
+	// Every recording method must be a no-op on nil.
+	tr.Span("x", time.Now(), time.Second)
+	tr.SpanSince("x", tr.Now())
+	tr.EngineStages(1, 2, 3, 4)
+	tr.SetEpoch(7)
+	tr.SetCache("hit")
+	if id := tr.ID(); id != "" {
+		t.Fatalf("nil trace id = %q", id)
+	}
+	ctx := WithTrace(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Fatal("nil trace attached to context")
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		start := tr.Now()
+		tr.SpanSince("cache", start)
+		tr.EngineStages(1, 2, 3, 4)
+		tr.SetCache("hit")
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocates %.1f per request, want 0", allocs)
+	}
+}
+
+func TestTraceRecord(t *testing.T) {
+	tr := NewTrace("rid-1", "single-source", "GET /v1/single-source?node=3")
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	tr.SetEpoch(5)
+	tr.SetCache("computed")
+	start := tr.Now()
+	time.Sleep(time.Millisecond)
+	tr.SpanSince("cache", start)
+	tr.EngineStages(time.Millisecond, 2*time.Millisecond, 3*time.Millisecond, 4*time.Millisecond)
+
+	rec := tr.Finish(200)
+	if rec.RequestID != "rid-1" || rec.Endpoint != "single-source" || rec.Status != 200 {
+		t.Fatalf("record header wrong: %+v", rec)
+	}
+	if rec.Epoch != 5 || rec.Cache != "computed" {
+		t.Fatalf("record context wrong: %+v", rec)
+	}
+	if rec.DurationMs <= 0 {
+		t.Fatalf("duration %v, want > 0", rec.DurationMs)
+	}
+	want := []string{"cache", "walk", "source_push", "gamma", "reverse_push"}
+	if len(rec.Spans) != len(want) {
+		t.Fatalf("spans = %+v, want %v", rec.Spans, want)
+	}
+	for i, name := range want {
+		if rec.Spans[i].Name != name {
+			t.Errorf("span %d = %q, want %q", i, rec.Spans[i].Name, name)
+		}
+	}
+	if rec.Spans[1].DurMs != 1 || rec.Spans[4].DurMs != 4 {
+		t.Errorf("stage durations wrong: %+v", rec.Spans)
+	}
+	// Consecutive engine stages tile: each starts where the previous ended.
+	for i := 2; i < 5; i++ {
+		prevEnd := rec.Spans[i-1].StartMs + rec.Spans[i-1].DurMs
+		if diff := rec.Spans[i].StartMs - prevEnd; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("span %d starts at %.6f, previous ended at %.6f", i, rec.Spans[i].StartMs, prevEnd)
+		}
+	}
+	if _, err := json.Marshal(rec); err != nil {
+		t.Fatalf("record does not marshal: %v", err)
+	}
+}
+
+func TestRing(t *testing.T) {
+	if NewRing(0) != nil || NewRing(-1) != nil {
+		t.Fatal("non-positive capacity must disable the ring")
+	}
+	var disabled *Ring
+	disabled.Add(TraceRecord{}) // must not panic
+	if disabled.Snapshot() != nil || disabled.Enabled() {
+		t.Fatal("nil ring is not inert")
+	}
+
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(TraceRecord{RequestID: fmt.Sprintf("r%d", i)})
+	}
+	got := r.Snapshot()
+	want := []string{"r5", "r4", "r3"} // newest first, oldest evicted
+	if len(got) != len(want) {
+		t.Fatalf("snapshot has %d records, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].RequestID != w {
+			t.Errorf("snapshot[%d] = %q, want %q", i, got[i].RequestID, w)
+		}
+	}
+}
+
+func TestMetricsWriterAndParserRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetricsWriter(&buf)
+	m.Counter("x_requests_total", "Requests served.")
+	m.Sample("x_requests_total", L("endpoint", "single-source"), 42)
+	m.Sample("x_requests_total", L("endpoint", `we"ird\pa`+"\n"+`th`), 1)
+	m.Gauge("x_depth", "Queue depth.")
+	m.Sample("x_depth", nil, 3.5)
+	m.HistogramType("x_latency_seconds", "Latency.")
+	m.Histogram("x_latency_seconds", L("path", "engine"),
+		[]float64{0.1, 0.2, 0.4}, []uint64{1, 2, 0, 3}, 260)
+	if err := m.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+
+	samples, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parsing own output: %v\n%s", err, buf.String())
+	}
+	if v, ok := FindSample(samples, "x_requests_total", map[string]string{"endpoint": "single-source"}); !ok || v != 42 {
+		t.Errorf("counter sample = %v,%v", v, ok)
+	}
+	if v, ok := FindSample(samples, "x_requests_total", map[string]string{"endpoint": "we\"ird\\pa\nth"}); !ok || v != 1 {
+		t.Errorf("escaped label did not round-trip: %v,%v", v, ok)
+	}
+	if v, ok := FindSample(samples, "x_depth", nil); !ok || v != 3.5 {
+		t.Errorf("gauge sample = %v,%v", v, ok)
+	}
+	// Histogram: cumulative buckets, +Inf == count, sum in seconds.
+	if v, ok := FindSample(samples, "x_latency_seconds_bucket", map[string]string{"le": "0.0002"}); !ok || v != 3 {
+		t.Errorf("cumulative bucket le=0.0002 = %v,%v, want 3", v, ok)
+	}
+	if v, ok := FindSample(samples, "x_latency_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || v != 6 {
+		t.Errorf("+Inf bucket = %v,%v, want 6", v, ok)
+	}
+	if v, ok := FindSample(samples, "x_latency_seconds_count", nil); !ok || v != 6 {
+		t.Errorf("count = %v,%v, want 6", v, ok)
+	}
+	if v, ok := FindSample(samples, "x_latency_seconds_sum", nil); !ok || v != 0.26 {
+		t.Errorf("sum = %v,%v, want 0.26 (seconds)", v, ok)
+	}
+}
+
+func TestParsePromRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"no_value\n",
+		"bad value notafloat\n",
+		`unterminated{a="x value 1` + "\n",
+	} {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseProm(%q) accepted garbage", in)
+		}
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "debug", "json", "simrankd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "request_id", "r1")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["component"] != "simrankd" || rec["request_id"] != "r1" {
+		t.Errorf("log line missing fields: %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "warn", "text", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("suppressed")
+	if buf.Len() != 0 {
+		t.Errorf("info leaked past warn level: %q", buf.String())
+	}
+	lg.Warn("kept")
+	if !strings.Contains(buf.String(), "kept") {
+		t.Errorf("warn line missing: %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "loud", "text", "x"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml", "x"); err == nil {
+		t.Error("bad format accepted")
+	}
+
+	// Discard must swallow output without panicking.
+	Discard().Error("dropped")
+
+	// SystemClock satisfies a structural clock interface and is comparable
+	// (usable inside map keys, the constraint core.Options relies on).
+	var clk interface{ Now() time.Time } = SystemClock{}
+	if clk.Now().IsZero() {
+		t.Error("SystemClock returned the zero time")
+	}
+	_ = map[SystemClock]bool{{}: true}
+	var _ slog.Handler = slog.DiscardHandler
+}

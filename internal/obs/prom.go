@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MetricsWriter emits the Prometheus text exposition format (version
+// 0.0.4) without any client-library dependency. The caller is expected
+// to write each metric family once: Counter/Gauge/HistogramType emit the
+// # HELP / # TYPE header, then Sample (or Histogram) emits the series.
+type MetricsWriter struct {
+	w   io.Writer
+	err error
+}
+
+// Labels is an ordered label set; ordering keeps output deterministic
+// for tests and diffable for humans.
+type Labels [][2]string
+
+// L is shorthand for a single-label set.
+func L(name, value string) Labels { return Labels{{name, value}} }
+
+// L appends one more label, enabling obs.L("a", "1").L("b", "2") chains.
+func (l Labels) L(name, value string) Labels {
+	return append(append(Labels{}, l...), [2]string{name, value})
+}
+
+// ContentType is the /metricsz response content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// NewMetricsWriter wraps w.
+func NewMetricsWriter(w io.Writer) *MetricsWriter { return &MetricsWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (m *MetricsWriter) Err() error { return m.err }
+
+func (m *MetricsWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+func (m *MetricsWriter) header(name, help, typ string) {
+	m.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Counter emits the header of a counter family.
+func (m *MetricsWriter) Counter(name, help string) { m.header(name, help, "counter") }
+
+// Gauge emits the header of a gauge family.
+func (m *MetricsWriter) Gauge(name, help string) { m.header(name, help, "gauge") }
+
+// HistogramType emits the header of a histogram family.
+func (m *MetricsWriter) HistogramType(name, help string) { m.header(name, help, "histogram") }
+
+// Sample emits one series line: name{labels} value.
+func (m *MetricsWriter) Sample(name string, labels Labels, v float64) {
+	m.printf("%s%s %s\n", name, formatLabels(labels), formatFloat(v))
+}
+
+// Histogram emits one histogram series from fixed millisecond bucket
+// upper bounds and per-bucket counts (counts carries one trailing
+// overflow bucket beyond upperMs). Bounds are converted to seconds, the
+// Prometheus base unit, and buckets are emitted cumulatively with the
+// mandatory +Inf bucket, _sum and _count.
+func (m *MetricsWriter) Histogram(name string, labels Labels, upperMs []float64, counts []uint64, sumMs float64) {
+	var cum uint64
+	for i, ub := range upperMs {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		le := append(append(Labels{}, labels...), [2]string{"le", formatFloat(ub / 1000)})
+		m.printf("%s_bucket%s %d\n", name, formatLabels(le), cum)
+	}
+	for i := len(upperMs); i < len(counts); i++ {
+		cum += counts[i]
+	}
+	inf := append(append(Labels{}, labels...), [2]string{"le", "+Inf"})
+	m.printf("%s_bucket%s %d\n", name, formatLabels(inf), cum)
+	m.printf("%s_sum%s %s\n", name, formatLabels(labels), formatFloat(sumMs/1000))
+	m.printf("%s_count%s %d\n", name, formatLabels(labels), cum)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: simload's metrics_delta and the
+// tests use this to read /metricsz back without a client library.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseProm parses the Prometheus text exposition format: comment and
+// blank lines are skipped, every other line must be
+// name[{labels}] value [timestamp]. It is a consumer, not a validator —
+// the format-grammar check lives in scripts/obs_smoke.sh.
+func ParseProm(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return s, fmt.Errorf("no metric name in %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote, escaped := false, false
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			switch {
+			case escaped:
+				escaped = false
+			case inQuote && c == '\\':
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case !inQuote && c == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", body)
+		}
+		name := strings.TrimSpace(body[:eq])
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		var b strings.Builder
+		j, closed := 1, false
+		for ; j < len(rest); j++ {
+			c := rest[j]
+			if c == '\\' && j+1 < len(rest) {
+				j++
+				switch rest[j] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(rest[j])
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", name)
+		}
+		labels[name] = b.String()
+		body = strings.TrimPrefix(strings.TrimSpace(rest[j+1:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return labels, nil
+}
+
+// FindSample returns the value of the first sample with the given name
+// whose labels include every entry of match (nil matches any labels).
+func FindSample(samples []Sample, name string, match map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range match {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,55 @@
+package obs
+
+import "sync"
+
+// Ring retains the last N completed trace records for /debug/queries.
+// A nil *Ring is the disabled state: Add and Snapshot are nil-safe.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceRecord
+	next int // index the next record lands in
+	full bool
+}
+
+// NewRing builds a ring of capacity n; n <= 0 returns nil (disabled).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		return nil
+	}
+	return &Ring{buf: make([]TraceRecord, n)}
+}
+
+// Enabled reports whether records are retained.
+func (r *Ring) Enabled() bool { return r != nil }
+
+// Add appends a record, evicting the oldest when full.
+func (r *Ring) Add(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained records, newest first.
+func (r *Ring) Snapshot() []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

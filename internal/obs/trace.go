@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one timed segment of a request: admission wait, the cache
+// lookup/single-flight window, or an engine stage. Offsets are relative
+// to the trace start so a record is self-contained.
+type Span struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"start_ms"`
+	DurMs   float64 `json:"duration_ms"`
+}
+
+// Trace accumulates the spans of one request. A nil *Trace is the
+// disabled state: every method is nil-safe and free, so handlers thread
+// one pointer through the request path unconditionally.
+//
+// The mutex exists for the single-flight path — a leader's compute
+// closure records engine spans while the owning request may concurrently
+// finish on cancellation — and is uncontended in the common case.
+type Trace struct {
+	mu       sync.Mutex
+	id       string
+	endpoint string
+	query    string
+	start    time.Time
+	epoch    uint64
+	cache    string
+	spans    []Span
+}
+
+// TraceRecord is a completed trace: the JSON element of /debug/queries
+// and the payload of a slow-query log line.
+type TraceRecord struct {
+	RequestID  string    `json:"request_id"`
+	Endpoint   string    `json:"endpoint"`
+	Query      string    `json:"query,omitempty"`
+	Epoch      uint64    `json:"epoch,omitempty"`
+	Cache      string    `json:"cache,omitempty"`
+	Status     int       `json:"status"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Spans      []Span    `json:"spans,omitempty"`
+}
+
+// NewTrace starts a trace for one request.
+func NewTrace(id, endpoint, query string) *Trace {
+	return &Trace{id: id, endpoint: endpoint, query: query, start: time.Now()}
+}
+
+// Enabled reports whether the trace records anything (false on nil).
+func (t *Trace) Enabled() bool { return t != nil }
+
+// ID returns the request id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Now returns the wall clock when tracing is enabled and the zero time
+// otherwise — the pattern for spans timed inline:
+//
+//	start := tr.Now()          // no clock read when disabled
+//	...work...
+//	tr.SpanSince("cache", start)
+func (t *Trace) Now() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Span records one completed span with an explicit start and duration.
+func (t *Trace) Span(name string, start time.Time, d time.Duration) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Name:    name,
+		StartMs: durMs(start.Sub(t.start)),
+		DurMs:   durMs(d),
+	})
+	t.mu.Unlock()
+}
+
+// SpanSince records a span from start to now. A zero start (tracing was
+// disabled when Now was called) is a no-op.
+func (t *Trace) SpanSince(name string, start time.Time) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	t.Span(name, start, time.Since(start))
+}
+
+// EngineStages appends the four engine-stage spans, back-computing their
+// start offsets from the present instant (the stages just finished).
+func (t *Trace) EngineStages(walk, sourcePush, gamma, reversePush time.Duration) {
+	if t == nil {
+		return
+	}
+	start := time.Now().Add(-(walk + sourcePush + gamma + reversePush))
+	t.Span("walk", start, walk)
+	start = start.Add(walk)
+	t.Span("source_push", start, sourcePush)
+	start = start.Add(sourcePush)
+	t.Span("gamma", start, gamma)
+	start = start.Add(gamma)
+	t.Span("reverse_push", start, reversePush)
+}
+
+// SetEpoch records the graph epoch the request pinned.
+func (t *Trace) SetEpoch(epoch uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.epoch = epoch
+	t.mu.Unlock()
+}
+
+// SetCache records the cache outcome (computed / hit / shared).
+func (t *Trace) SetCache(outcome string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cache = outcome
+	t.mu.Unlock()
+}
+
+// Finish seals the trace into its record. The trace must not be used
+// afterwards.
+func (t *Trace) Finish(status int) TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TraceRecord{
+		RequestID:  t.id,
+		Endpoint:   t.endpoint,
+		Query:      t.query,
+		Epoch:      t.epoch,
+		Cache:      t.cache,
+		Status:     status,
+		Start:      t.start,
+		DurationMs: durMs(time.Since(t.start)),
+		Spans:      t.spans,
+	}
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to ctx. Attaching nil is a no-op, keeping
+// the off path allocation-free.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the request's trace, or nil when tracing is
+// disabled. Nil is safe to use directly: every Trace method accepts it.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -23,6 +23,12 @@ type admission struct {
 	queued   atomic.Int64
 	rejected atomic.Uint64
 
+	// Slow-path accounting: how many acquisitions had to wait for a slot
+	// and how long they waited in total. Fast-path acquisitions (a slot
+	// was free) cost no clock read.
+	waits     atomic.Uint64
+	waitNanos atomic.Uint64
+
 	// Observed service process, feeding the Retry-After estimate: how
 	// many slot-holding computations finished and how long they held
 	// their slots in total.
@@ -37,39 +43,46 @@ func newAdmission(maxInFlight, maxQueue int) *admission {
 	}
 }
 
-// acquire takes a slot, waiting in the bounded queue if none is free. It
-// returns errSaturated when the queue is full, and ctx.Err() if the
-// request deadline expires while waiting.
-func (a *admission) acquire(ctx context.Context) error {
+// acquire takes a slot, waiting in the bounded queue if none is free,
+// and reports how long it waited (0 on the uncontended fast path, which
+// never reads the clock). It returns errSaturated when the queue is
+// full, and ctx.Err() if the request deadline expires while waiting.
+func (a *admission) acquire(ctx context.Context) (time.Duration, error) {
 	select {
 	case a.slots <- struct{}{}:
-		return nil
+		return 0, nil
 	default:
 	}
 	if a.queued.Add(1) > a.maxQueue {
 		a.queued.Add(-1)
 		a.rejected.Add(1)
-		return errSaturated
+		return 0, errSaturated
 	}
 	defer a.queued.Add(-1)
+	t0 := time.Now()
 	select {
 	case a.slots <- struct{}{}:
-		return nil
+		wait := time.Since(t0)
+		a.waits.Add(1)
+		a.waitNanos.Add(uint64(max(wait, 0)))
+		return wait, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return time.Since(t0), ctx.Err()
 	}
 }
 
 func (a *admission) release() { <-a.slots }
 
 // acquireUpTo takes one slot (waiting in the bounded queue like acquire)
-// plus up to n-1 more without waiting, and returns how many it holds.
-// The extra slots are best-effort on purpose: a multi-slot caller that
-// blocked while holding slots could deadlock against another multi-slot
-// caller, so beyond the first slot it only ever takes what is free now.
-func (a *admission) acquireUpTo(ctx context.Context, n int) (int, error) {
-	if err := a.acquire(ctx); err != nil {
-		return 0, err
+// plus up to n-1 more without waiting, and returns how many it holds and
+// how long the first slot took. The extra slots are best-effort on
+// purpose: a multi-slot caller that blocked while holding slots could
+// deadlock against another multi-slot caller, so beyond the first slot
+// it only ever takes what is free now.
+func (a *admission) acquireUpTo(ctx context.Context, n int) (int, time.Duration, error) {
+	wait, err := a.acquire(ctx)
+	if err != nil {
+		return 0, wait, err
 	}
 	held := 1
 	for held < n {
@@ -77,10 +90,10 @@ func (a *admission) acquireUpTo(ctx context.Context, n int) (int, error) {
 		case a.slots <- struct{}{}:
 			held++
 		default:
-			return held, nil
+			return held, wait, nil
 		}
 	}
-	return held, nil
+	return held, wait, nil
 }
 
 func (a *admission) releaseN(n int) {

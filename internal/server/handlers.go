@@ -12,6 +12,7 @@ import (
 
 	"github.com/simrank/simpush"
 	"github.com/simrank/simpush/internal/cache"
+	"github.com/simrank/simpush/internal/obs"
 )
 
 // httpError carries an HTTP status plus a stable machine-readable code;
@@ -65,14 +66,23 @@ func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
 		sec := s.adm.estimateRetryAfter(s.cfg.RetryAfter, maxRetryAfterSec)
 		w.Header().Set("Retry-After", strconv.Itoa(sec))
 	}
-	writeJSON(w, he.status, map[string]string{"error": he.msg, "code": he.code})
+	writeJSON(w, he.status, errorBody(w, he.msg, he.code))
+}
+
+// errorBody builds the standard error payload, echoing the request id
+// (set on the response header by the middleware before the handler ran)
+// so a client holding only the error JSON can still quote the id.
+func errorBody(w http.ResponseWriter, msg, code string) map[string]string {
+	body := map[string]string{"error": msg, "code": code}
+	if id := w.Header().Get(obs.RequestIDHeader); id != "" {
+		body["request_id"] = id
+	}
+	return body
 }
 
 func writeMethodNotAllowed(w http.ResponseWriter, allow ...string) {
 	w.Header().Set("Allow", strings.Join(allow, ", "))
-	writeJSON(w, http.StatusMethodNotAllowed, map[string]string{
-		"error": "method not allowed", "code": "method_not_allowed",
-	})
+	writeJSON(w, http.StatusMethodNotAllowed, errorBody(w, "method not allowed", "method_not_allowed"))
 }
 
 // queryParams is the parsed, canonicalized per-query parameter set. Its
@@ -236,23 +246,37 @@ func rankedEntries(rs []simpush.Ranked) []scoreEntry {
 }
 
 // pinView snapshots the source once for this request, pinning the epoch
-// every cache key and computation of the request uses.
+// every cache key and computation of the request uses, and records the
+// snapshot span plus the pinned epoch on the request trace.
 func (s *Server) pinView(ctx context.Context) (*simpush.View, *httpError) {
+	tr := obs.FromContext(ctx)
+	t0 := tr.Now()
 	view, err := s.client.View(ctx)
 	if err != nil {
 		return nil, mapError(err)
 	}
+	tr.SpanSince("snapshot", t0)
+	tr.SetEpoch(view.Epoch())
 	s.noteEpoch(view.Epoch())
 	return view, nil
 }
 
 // admitted wraps an engine computation in admission control: it consumes
 // one in-flight slot (possibly waiting in the bounded queue) for the
-// duration of compute.
-func admitted[T any](s *Server, ctx context.Context, compute func() (T, error)) (T, error) {
+// duration of compute. A queued wait becomes an admission_wait span.
+//
+// The trace is passed explicitly rather than read from ctx: a coalesced
+// computation runs under the cache's flight context, which is detached
+// from any single request, so only the leader's captured trace reaches
+// this point.
+func admitted[T any](s *Server, ctx context.Context, tr *obs.Trace, compute func() (T, error)) (T, error) {
 	var zero T
-	if err := s.adm.acquire(ctx); err != nil {
+	wait, err := s.adm.acquire(ctx)
+	if err != nil {
 		return zero, err
+	}
+	if wait > 0 && tr.Enabled() {
+		tr.Span("admission_wait", time.Now().Add(-wait), wait)
 	}
 	t0 := time.Now()
 	defer func() {
@@ -266,12 +290,20 @@ func admitted[T any](s *Server, ctx context.Context, compute func() (T, error)) 
 // the cache supplies (cancelled only when every interested caller has
 // left) is capped by the server-side maximum timeout, and the work runs
 // under admission control.
-func flightCompute[T any](s *Server, fctx context.Context, compute func(context.Context) (T, error)) (any, error) {
+func flightCompute[T any](s *Server, fctx context.Context, tr *obs.Trace, compute func(context.Context) (T, error)) (any, error) {
 	cctx, cancel := context.WithTimeout(fctx, s.cfg.MaxTimeout)
 	defer cancel()
-	return admitted(s, cctx, func() (T, error) {
+	return admitted(s, cctx, tr, func() (T, error) {
 		return compute(cctx)
 	})
+}
+
+// noteEngineResult folds one computed result's stage durations into the
+// cumulative stage counters and, when tracing, into the leader's trace
+// as four engine-stage spans.
+func (s *Server) noteEngineResult(tr *obs.Trace, d simpush.StageDurations) {
+	s.recordStages(d)
+	tr.EngineStages(d.Walk, d.SourcePush, d.Gamma, d.ReversePush)
 }
 
 // outcomePath maps a cache outcome to a latency-histogram path: only the
@@ -313,16 +345,25 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := obs.FromContext(r.Context())
 	key := cache.Key{Epoch: view.Epoch(), Kind: "single-source", Node: u, Params: qp.canonical()}
+	cStart := tr.Now()
 	v, outcome, err := s.cache.Do(ctx, key, func(fctx context.Context) (any, error) {
-		return flightCompute(s, fctx, func(cctx context.Context) (*simpush.Result, error) {
-			return view.SingleSource(cctx, u, qp.options()...)
+		return flightCompute(s, fctx, tr, func(cctx context.Context) (*simpush.Result, error) {
+			res, err := view.SingleSource(cctx, u, qp.options()...)
+			if err != nil {
+				return nil, err
+			}
+			s.noteEngineResult(tr, res.Durations)
+			return res, nil
 		})
 	})
+	tr.SpanSince("cache", cStart)
 	if err != nil {
 		s.writeError(w, mapError(err))
 		return
 	}
+	tr.SetCache(outcome.String())
 	s.observeLatency(kSingleSource, outcomePath(outcome), time.Since(start))
 	res := v.(*simpush.Result)
 
@@ -382,16 +423,28 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := obs.FromContext(r.Context())
 	key := cache.Key{Epoch: view.Epoch(), Kind: "topk", Node: u, Aux: int64(k), Params: qp.canonical()}
+	cStart := tr.Now()
 	v, outcome, err := s.cache.Do(ctx, key, func(fctx context.Context) (any, error) {
-		return flightCompute(s, fctx, func(cctx context.Context) ([]simpush.Ranked, error) {
-			return view.TopK(cctx, u, k, qp.options()...)
+		return flightCompute(s, fctx, tr, func(cctx context.Context) ([]simpush.Ranked, error) {
+			// Run the underlying single-source query directly (View.TopK is
+			// exactly this) so the stage durations are available for the
+			// trace and the cumulative counters.
+			res, err := view.SingleSource(cctx, u, qp.options()...)
+			if err != nil {
+				return nil, err
+			}
+			s.noteEngineResult(tr, res.Durations)
+			return simpush.TopK(res.Scores, k, u), nil
 		})
 	})
+	tr.SpanSince("cache", cStart)
 	if err != nil {
 		s.writeError(w, mapError(err))
 		return
 	}
+	tr.SetCache(outcome.String())
 	s.observeLatency(kTopK, outcomePath(outcome), time.Since(start))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"node":    u,
@@ -436,16 +489,31 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := obs.FromContext(r.Context())
 	key := cache.Key{Epoch: view.Epoch(), Kind: "pair", Node: u, Aux: int64(vNode), Params: qp.canonical()}
+	cStart := tr.Now()
 	val, outcome, err := s.cache.Do(ctx, key, func(fctx context.Context) (any, error) {
-		return flightCompute(s, fctx, func(cctx context.Context) (float64, error) {
-			return view.Pair(cctx, u, vNode, qp.options()...)
+		return flightCompute(s, fctx, tr, func(cctx context.Context) (float64, error) {
+			// Inline View.Pair (target check + single-source + read-off) so
+			// the stage durations are available for the trace and counters.
+			if g := view.Graph(); !g.HasNode(vNode) {
+				return 0, fmt.Errorf("simpush: %w: target node %d not in [0, %d)",
+					simpush.ErrNodeOutOfRange, vNode, g.N())
+			}
+			res, err := view.SingleSource(cctx, u, qp.options()...)
+			if err != nil {
+				return 0, err
+			}
+			s.noteEngineResult(tr, res.Durations)
+			return res.Scores[vNode], nil
 		})
 	})
+	tr.SpanSince("cache", cStart)
 	if err != nil {
 		s.writeError(w, mapError(err))
 		return
 	}
+	tr.SetCache(outcome.String())
 	s.observeLatency(kPair, outcomePath(outcome), time.Since(start))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"u":     u,
@@ -516,6 +584,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Split the batch into cache hits and misses on this epoch; duplicate
 	// nodes within one batch are computed once.
+	tr := obs.FromContext(r.Context())
 	params := qp.canonical()
 	rows := make([]*simpush.Result, len(req.Nodes))
 	idxByNode := make(map[int32][]int)
@@ -546,20 +615,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if want > len(missing) {
 			want = len(missing)
 		}
-		held, err := s.adm.acquireUpTo(ctx, want)
+		held, wait, err := s.adm.acquireUpTo(ctx, want)
 		if err != nil {
 			s.writeError(w, mapError(err))
 			return
+		}
+		if wait > 0 && tr.Enabled() {
+			tr.Span("admission_wait", time.Now().Add(-wait), wait)
 		}
 		t0 := time.Now()
 		computed, err := view.BatchSingleSource(ctx, missing, held, qp.options()...)
 		s.adm.recordService(time.Since(t0), held)
 		s.adm.releaseN(held)
+		// One span for the whole engine batch (per-row stage spans would
+		// swamp the trace); the cumulative stage counters still see every
+		// computed row.
+		tr.SpanSince("engine_batch", t0)
 		if err != nil {
 			s.writeError(w, mapError(err))
 			return
 		}
 		for j, res := range computed {
+			s.recordStages(res.Durations)
 			for _, i := range idxByNode[missing[j]] {
 				rows[i] = res
 			}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -115,29 +116,43 @@ func (h *latencyHist) snapshot() *HistogramSnapshot {
 	return s
 }
 
-// histQuantile estimates quantile q from bucket counts by linear
-// interpolation within the containing bucket.
+// histQuantile estimates quantile q from bucket counts as an order
+// statistic: the quantile sample has rank ceil(q·total) (clamped to
+// [1, total]), and a sample that is the j-th of c in its bucket is
+// placed at the bucket midpoint position (j−0.5)/c — the unbiased spot
+// under the uniform-within-bucket assumption. This keeps every estimate
+// strictly inside its bucket: the previous formula interpolated with the
+// raw rank q·total, so a lone sample sitting exactly on a bucket edge
+// fanned out across the whole bucket as q varied, and the overflow
+// bucket fabricated a finite width of lo·2. The overflow bucket has no
+// upper bound, so an estimate landing there reports the last finite
+// bound — a clearly-labeled lower bound rather than an invented value.
 func histQuantile(counts []uint64, total uint64, q float64) float64 {
-	rank := q * float64(total)
+	if total == 0 {
+		return 0
+	}
+	rank := math.Ceil(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > float64(total) {
+		rank = float64(total)
+	}
 	cum := 0.0
 	for i, c := range counts {
 		if c == 0 {
 			continue
 		}
-		next := cum + float64(c)
-		if next >= rank {
+		if cum+float64(c) >= rank {
+			if i >= len(latencyBoundsMs) {
+				return latencyBoundsMs[len(latencyBoundsMs)-1]
+			}
 			lo := 0.0
 			if i > 0 {
 				lo = latencyBoundsMs[i-1]
 			}
-			hi := lo * 2
-			if i < len(latencyBoundsMs) {
-				hi = latencyBoundsMs[i]
-			}
-			if hi <= lo { // first bucket or degenerate overflow
-				return hi
-			}
-			frac := (rank - cum) / float64(c)
+			hi := latencyBoundsMs[i]
+			frac := (rank - cum - 0.5) / float64(c)
 			if frac < 0 {
 				frac = 0
 			} else if frac > 1 {
@@ -145,9 +160,9 @@ func histQuantile(counts []uint64, total uint64, q float64) float64 {
 			}
 			return lo + frac*(hi-lo)
 		}
-		cum = next
+		cum += float64(c)
 	}
-	return latencyBoundsMs[len(latencyBoundsMs)-1] * 2
+	return latencyBoundsMs[len(latencyBoundsMs)-1]
 }
 
 // Serving paths a request can resolve through. Engine latencies include

@@ -83,6 +83,68 @@ func TestHistQuantileSingleBucket(t *testing.T) {
 	}
 }
 
+// TestHistQuantileBoundarySample pins the order-statistic estimator on
+// the degenerate inputs the old interpolation got wrong: a lone sample
+// exactly on a bucket's upper edge must give the same in-bucket estimate
+// for every quantile (there is only one sample — the quantile cannot
+// depend on q), and it must stay strictly inside the bucket.
+func TestHistQuantileBoundarySample(t *testing.T) {
+	var h latencyHist
+	h.observe(100 * time.Microsecond) // exactly the first bucket's bound
+	s := h.snapshot()
+	if s == nil {
+		t.Fatal("nil snapshot after observe")
+	}
+	want := 0.05 // midpoint of (0, 0.1]
+	for name, q := range map[string]float64{"p50": s.P50Ms, "p90": s.P90Ms, "p99": s.P99Ms} {
+		if math.Abs(q-want) > 1e-9 {
+			t.Errorf("%s = %.4f ms, want the bucket midpoint %.4f for a single sample", name, q, want)
+		}
+	}
+}
+
+// TestHistQuantileOverflowBucket: the overflow bucket has no upper
+// bound, so quantiles landing there must report the last finite bound
+// (a lower bound), not a fabricated interpolation beyond it.
+func TestHistQuantileOverflowBucket(t *testing.T) {
+	var h latencyHist
+	h.observe(time.Hour)
+	s := h.snapshot()
+	if s == nil {
+		t.Fatal("nil snapshot after observe")
+	}
+	last := latencyBoundsMs[len(latencyBoundsMs)-1]
+	for name, q := range map[string]float64{"p50": s.P50Ms, "p99": s.P99Ms} {
+		if q != last {
+			t.Errorf("%s = %.4f ms, want the last finite bound %.4f", name, q, last)
+		}
+	}
+}
+
+// TestHistQuantileTwoSamples: with one sample in each of the first two
+// buckets, p50 selects the first sample (rank ceil(0.5·2)=1) at its
+// bucket midpoint, and higher quantiles move monotonically into the
+// second bucket.
+func TestHistQuantileTwoSamples(t *testing.T) {
+	counts := make([]uint64, latencyBucketCount)
+	counts[0], counts[1] = 1, 1
+	if got := histQuantile(counts, 2, 0.50); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("p50 = %.4f, want 0.05 (midpoint of the first bucket)", got)
+	}
+	if got := histQuantile(counts, 2, 0.99); got <= 0.1 || got > 0.2 {
+		t.Errorf("p99 = %.4f, want inside the second bucket (0.1, 0.2]", got)
+	}
+	// Monotone in q across the bucket boundary.
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := histQuantile(counts, 2, q)
+		if v < prev {
+			t.Errorf("quantile decreased: q=%.2f gave %.4f after %.4f", q, v, prev)
+		}
+		prev = v
+	}
+}
+
 func TestLatencyBucketsMsIsCopy(t *testing.T) {
 	a := LatencyBucketsMs()
 	a[0] = -1

@@ -21,6 +21,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -30,6 +31,7 @@ import (
 
 	"github.com/simrank/simpush"
 	"github.com/simrank/simpush/internal/cache"
+	"github.com/simrank/simpush/internal/obs"
 )
 
 // Config parameterizes a Server. The zero value of every field selects a
@@ -92,6 +94,22 @@ type Config struct {
 	// window cannot catch up incrementally and must restart from the
 	// leader's base graph.
 	ReplicationLog int
+
+	// TraceRing retains the last N completed query traces for GET
+	// /debug/queries. 0 (the default) keeps no ring. Tracing — span
+	// recording on the request path — is active when TraceRing or
+	// SlowQuery is set; otherwise handlers carry a nil trace and every
+	// span call is a free pointer test.
+	TraceRing int
+
+	// SlowQuery, when positive, emits one structured log line (level
+	// WARN, with the request id, cache outcome and per-stage spans) for
+	// every query endpoint request at least this slow. 0 disables it.
+	SlowQuery time.Duration
+
+	// Logger receives the server's structured logs (slow queries). nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // A cached single-source row is a dense length-n []float64 (~8n bytes),
@@ -145,6 +163,12 @@ func (c Config) withDefaults() Config {
 	if c.ReplicationLog <= 0 {
 		c.ReplicationLog = 1024
 	}
+	if c.TraceRing < 0 {
+		c.TraceRing = 0
+	}
+	if c.Logger == nil {
+		c.Logger = obs.Discard()
+	}
 	return c
 }
 
@@ -163,11 +187,37 @@ type Server struct {
 	rep      replication
 	mutMu    sync.Mutex // leader: keeps log append order = epoch order
 
-	requests  atomic.Uint64
-	errors    atomic.Uint64 // responses with status >= 400
-	byKind    [kindCount]atomic.Uint64
-	lat       [kindCount][pathCount]latencyHist
-	lastEpoch atomic.Uint64 // highest epoch seen; drives opportunistic sweeps
+	ring   *obs.Ring    // last-N completed traces (nil = disabled)
+	logger *slog.Logger // slow-query and serving logs
+
+	requests   atomic.Uint64
+	errors     atomic.Uint64 // responses with status >= 400
+	byKind     [kindCount]atomic.Uint64
+	lat        [kindCount][pathCount]latencyHist
+	lastEpoch  atomic.Uint64             // highest epoch seen; drives opportunistic sweeps
+	stageNanos [stageCount]atomic.Uint64 // cumulative engine-stage wall time
+}
+
+// Engine stage indices for the cumulative stage-time counters surfaced
+// in /statsz and /metricsz; order matches simpush.StageDurations.
+const (
+	stageWalk = iota
+	stageSourcePush
+	stageGamma
+	stageReversePush
+	stageCount
+)
+
+var stageNames = [stageCount]string{"walk", "source_push", "gamma", "reverse_push"}
+
+// recordStages folds one computed result's stage durations into the
+// cumulative per-stage counters (a few atomic adds — always on, even
+// with tracing disabled).
+func (s *Server) recordStages(d simpush.StageDurations) {
+	s.stageNanos[stageWalk].Add(uint64(max(d.Walk, 0)))
+	s.stageNanos[stageSourcePush].Add(uint64(max(d.SourcePush, 0)))
+	s.stageNanos[stageGamma].Add(uint64(max(d.Gamma, 0)))
+	s.stageNanos[stageReversePush].Add(uint64(max(d.ReversePush, 0)))
 }
 
 // endpoint indices for the per-kind request counters.
@@ -180,11 +230,14 @@ const (
 	kReplication
 	kHealth
 	kStats
+	kMetrics
+	kDebug
 	kindCount
 )
 
 var kindNames = [kindCount]string{
 	"single-source", "topk", "pair", "batch", "edges", "replication", "healthz", "statsz",
+	"metricsz", "debug-queries",
 }
 
 // New builds a Server around an existing Client. If the client's graph
@@ -205,6 +258,8 @@ func New(cfg Config) (*Server, error) {
 		adm:    newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
+		ring:   obs.NewRing(cfg.TraceRing),
+		logger: cfg.Logger,
 	}
 	if dyn, ok := cfg.Client.Source().(*simpush.DynamicGraph); ok {
 		s.dyn = dyn
@@ -243,6 +298,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/replication", s.count(kReplication, s.handleReplication))
 	s.mux.HandleFunc("/healthz", s.count(kHealth, s.handleHealthz))
 	s.mux.HandleFunc("/statsz", s.count(kStats, s.handleStatsz))
+	s.mux.HandleFunc("/metricsz", s.count(kMetrics, s.handleMetricsz))
+	s.mux.HandleFunc("/debug/queries", s.count(kDebug, s.handleDebugQueries))
 	return s, nil
 }
 
@@ -264,30 +321,81 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Cache exposes the result cache (used by tests and stats).
 func (s *Server) Cache() *cache.Cache { return s.cache }
 
+// tracing reports whether requests record spans (ring or slow-query log
+// configured). When false the per-request trace stays nil and every span
+// call on the request path is a free pointer test.
+func (s *Server) tracing() bool {
+	return s.ring != nil || s.cfg.SlowQuery > 0
+}
+
+// count is the per-endpoint middleware: request counters, the
+// X-Request-Id echo (satellite of the trace layer — every response,
+// including 4xx/5xx, carries the correlation id), and — for the query
+// endpoints when tracing is on — the request-scoped trace with its
+// /debug/queries record and slow-query log line.
 func (s *Server) count(kind int, h http.HandlerFunc) http.HandlerFunc {
+	traced := kind <= kEdges // query endpoints only; probes stay out of the ring
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		s.byKind[kind].Add(1)
-		h(&statusWriter{ResponseWriter: w, server: s}, r)
+		sw := &statusWriter{ResponseWriter: w, server: s}
+		id := obs.SanitizeRequestID(r.Header.Get(obs.RequestIDHeader))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		// Set before the handler runs so error paths inherit it too.
+		w.Header().Set(obs.RequestIDHeader, id)
+		if !traced || !s.tracing() {
+			h(sw, r)
+			return
+		}
+		tr := obs.NewTrace(id, kindNames[kind], r.Method+" "+r.URL.RequestURI())
+		h(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		rec := tr.Finish(sw.status())
+		s.ring.Add(rec)
+		if s.cfg.SlowQuery > 0 && rec.DurationMs >= float64(s.cfg.SlowQuery)/float64(time.Millisecond) {
+			s.logger.Warn("slow query",
+				"request_id", rec.RequestID,
+				"endpoint", rec.Endpoint,
+				"query", rec.Query,
+				"status", rec.Status,
+				"epoch", rec.Epoch,
+				"cache", rec.Cache,
+				"duration_ms", rec.DurationMs,
+				"spans", rec.Spans,
+			)
+		}
 	}
 }
 
-// statusWriter counts error responses without wrapping every handler in
-// its own bookkeeping.
+// statusWriter counts error responses and remembers the status code for
+// the trace record without wrapping every handler in its own
+// bookkeeping.
 type statusWriter struct {
 	http.ResponseWriter
 	server *Server
 	wrote  bool
+	code   int
 }
 
 func (sw *statusWriter) WriteHeader(status int) {
 	if !sw.wrote {
 		sw.wrote = true
+		sw.code = status
 		if status >= 400 {
 			sw.server.errors.Add(1)
 		}
 	}
 	sw.ResponseWriter.WriteHeader(status)
+}
+
+// status returns the response status (200 when the handler wrote a body
+// without an explicit WriteHeader).
+func (sw *statusWriter) status() int {
+	if !sw.wrote {
+		return http.StatusOK
+	}
+	return sw.code
 }
 
 // noteEpoch records the epoch a request pinned and opportunistically
@@ -322,6 +430,10 @@ type StatsSnapshot struct {
 	Client        ClientStats       `json:"client"`
 	Replication   *ReplicationStats `json:"replication,omitempty"`
 
+	// EngineStageSeconds is the cumulative engine wall time by stage
+	// (walk, source_push, gamma, reverse_push) over every computed query.
+	EngineStageSeconds map[string]float64 `json:"engine_stage_seconds"`
+
 	// LatencyBucketsMs holds the shared histogram bucket upper bounds
 	// (ms); every histogram under Latency appends one overflow bucket.
 	// Both fields are omitted until the server has served a request.
@@ -336,6 +448,10 @@ type AdmissionStats struct {
 	MaxQueue    int    `json:"max_queue"`
 	QueueDepth  int64  `json:"queue_depth"`
 	Rejected    uint64 `json:"rejected"`
+	// Waits counts acquisitions that found no free slot and queued;
+	// WaitTotalSeconds is their cumulative queueing time.
+	Waits            uint64  `json:"waits"`
+	WaitTotalSeconds float64 `json:"wait_total_seconds"`
 	// AvgServiceMs is the observed mean engine-slot occupancy time, and
 	// RetryAfterS the Retry-After a 429 issued right now would carry
 	// (backlog ÷ observed service rate, clamped).
@@ -363,13 +479,15 @@ func (s *Server) Stats() StatsSnapshot {
 		ByEndpoint:    make(map[string]uint64, kindCount),
 		Cache:         s.cache.Stats(),
 		Admission: AdmissionStats{
-			MaxInFlight:  s.cfg.MaxInFlight,
-			InFlight:     s.adm.inFlight(),
-			MaxQueue:     s.cfg.MaxQueue,
-			QueueDepth:   s.adm.queueDepth(),
-			Rejected:     s.adm.rejected.Load(),
-			AvgServiceMs: float64(s.adm.avgServiceNanos()) / 1e6,
-			RetryAfterS:  s.adm.estimateRetryAfter(s.cfg.RetryAfter, maxRetryAfterSec),
+			MaxInFlight:      s.cfg.MaxInFlight,
+			InFlight:         s.adm.inFlight(),
+			MaxQueue:         s.cfg.MaxQueue,
+			QueueDepth:       s.adm.queueDepth(),
+			Rejected:         s.adm.rejected.Load(),
+			Waits:            s.adm.waits.Load(),
+			WaitTotalSeconds: float64(s.adm.waitNanos.Load()) / 1e9,
+			AvgServiceMs:     float64(s.adm.avgServiceNanos()) / 1e6,
+			RetryAfterS:      s.adm.estimateRetryAfter(s.cfg.RetryAfter, maxRetryAfterSec),
 		},
 		Client:      ClientStats{Queries: cs.Queries, Errors: cs.Errors, InFlight: cs.InFlight},
 		Replication: s.replicationStats(),
@@ -380,6 +498,10 @@ func (s *Server) Stats() StatsSnapshot {
 	}
 	for i, name := range kindNames {
 		snap.ByEndpoint[name] = s.byKind[i].Load()
+	}
+	snap.EngineStageSeconds = make(map[string]float64, stageCount)
+	for i, name := range stageNames {
+		snap.EngineStageSeconds[name] = float64(s.stageNanos[i].Load()) / 1e9
 	}
 	if lat := s.latencyStats(); lat != nil {
 		snap.Latency = lat

@@ -363,11 +363,14 @@ func TestAdmissionControl(t *testing.T) {
 	s := newStaticServer(t, Config{MaxInFlight: 1, MaxQueue: 1, RetryAfter: 3})
 
 	// Occupy the only slot, then park a waiter in the only queue seat.
-	if err := s.adm.acquire(t.Context()); err != nil {
+	if _, err := s.adm.acquire(t.Context()); err != nil {
 		t.Fatal(err)
 	}
 	waiterIn := make(chan error, 1)
-	go func() { waiterIn <- s.adm.acquire(t.Context()) }()
+	go func() {
+		_, err := s.adm.acquire(t.Context())
+		waiterIn <- err
+	}()
 	deadline := time.Now().Add(2 * time.Second)
 	for s.adm.queueDepth() != 1 {
 		if time.Now().After(deadline) {
@@ -595,13 +598,13 @@ func TestErrSaturatedMapping(t *testing.T) {
 // held across callers never exceeds the in-flight limit.
 func TestAcquireUpTo(t *testing.T) {
 	a := newAdmission(4, 8)
-	held, err := a.acquireUpTo(t.Context(), 3)
+	held, _, err := a.acquireUpTo(t.Context(), 3)
 	if err != nil || held != 3 {
 		t.Fatalf("first batch: held %d, err %v", held, err)
 	}
 	// One slot left: a second wide request gets its guaranteed first slot
 	// and no extras — engine concurrency stays within the limit.
-	held2, err := a.acquireUpTo(t.Context(), 3)
+	held2, _, err := a.acquireUpTo(t.Context(), 3)
 	if err != nil || held2 != 1 {
 		t.Fatalf("second batch: held %d, err %v", held2, err)
 	}

@@ -45,6 +45,21 @@ type CacheDelta struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// MetricsDelta is the server-side movement over the run window as seen
+// through /metricsz — where the engine spent its time and how hard
+// admission had to work, counters /statsz does not break out. simload
+// scrapes the target before and after each scenario and attaches the
+// difference; nil when the target does not expose /metricsz.
+type MetricsDelta struct {
+	EngineStageSeconds   map[string]float64 `json:"engine_stage_seconds,omitempty"`
+	EngineQueries        uint64             `json:"engine_queries"`
+	AdmissionWaits       uint64             `json:"admission_waits"`
+	AdmissionWaitSeconds float64            `json:"admission_wait_seconds"`
+	AdmissionRejected    uint64             `json:"admission_rejected"`
+	CacheHits            uint64             `json:"cache_hits"`
+	CacheMisses          uint64             `json:"cache_misses"`
+}
+
 // ClassReport is the per-traffic-class slice of a Report.
 type ClassReport struct {
 	Class     string         `json:"class"`
@@ -82,6 +97,7 @@ type Report struct {
 	EpochAdvances     uint64        `json:"epoch_advances"`
 	AdmissionRejected uint64        `json:"admission_rejected"`
 	ServerEpoch       uint64        `json:"server_epoch"`
+	Metrics           *MetricsDelta `json:"metrics_delta,omitempty"`
 	Classes           []ClassReport `json:"classes"`
 }
 
@@ -222,6 +238,18 @@ func (r *Report) WriteSummary(w io.Writer) {
 		r.SLO.ErrorPct, r.SLO.SLO.MaxErrorPct)
 	fmt.Fprintf(w, "  cache hit rate %.3f (%d hits / %d misses / %d coalesced), %d engine queries, %d epoch advances\n",
 		r.Cache.HitRate, r.Cache.Hits, r.Cache.Misses, r.Cache.Coalesced, r.EngineQueries, r.EpochAdvances)
+	if m := r.Metrics; m != nil {
+		stages := make([]string, 0, len(m.EngineStageSeconds))
+		for name := range m.EngineStageSeconds {
+			stages = append(stages, name)
+		}
+		sort.Strings(stages)
+		fmt.Fprintf(w, "  engine time")
+		for _, name := range stages {
+			fmt.Fprintf(w, " %s %.3fs", name, m.EngineStageSeconds[name])
+		}
+		fmt.Fprintf(w, "; admission waits %d (%.3fs queued)\n", m.AdmissionWaits, m.AdmissionWaitSeconds)
+	}
 	for _, c := range r.Classes {
 		fmt.Fprintf(w, "  class %-16s %6d req, %5d ok, %4d err, %4d mut, p50 %.1fms p99 %.1fms\n",
 			c.Class, c.Requests, c.OK, c.Errors, c.Mutations, c.Latency.P50Ms, c.Latency.P99Ms)

@@ -34,7 +34,7 @@ fail() {
 wait_addr() {
   local log=$1 addr=""
   for _ in $(seq 1 100); do
-    addr=$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$log" | head -1)
+    addr=$(sed -n 's/.* addr=\(127\.0\.0\.1:[0-9]*\).*/\1/p' "$log" | head -1)
     [ -n "$addr" ] && { echo "$addr"; return 0; }
     sleep 0.1
   done

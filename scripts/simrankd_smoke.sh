@@ -22,7 +22,7 @@ pid=$!
 
 addr=""
 for _ in $(seq 1 100); do
-  addr=$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$tmp/log" | head -1)
+  addr=$(sed -n 's/.* addr=\(127\.0\.0\.1:[0-9]*\).*/\1/p' "$tmp/log" | head -1)
   [ -n "$addr" ] && break
   kill -0 "$pid" 2>/dev/null || { echo "smoke: daemon died at startup"; cat "$tmp/log"; exit 1; }
   sleep 0.1

@@ -29,7 +29,7 @@ pid=$!
 
 addr=""
 for _ in $(seq 1 100); do
-  addr=$(sed -n 's/.* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$tmp/log" | head -1)
+  addr=$(sed -n 's/.* addr=\(127\.0\.0\.1:[0-9]*\).*/\1/p' "$tmp/log" | head -1)
   [ -n "$addr" ] && break
   kill -0 "$pid" 2>/dev/null || { echo "workload smoke: daemon died at startup"; cat "$tmp/log"; exit 1; }
   sleep 0.1
@@ -63,7 +63,7 @@ for field in \
   '"attainment_pct"' '"attainment_met"' '"attain_target_pct"' \
   '"error_pct"' '"error_budget_met"' '"rate_429"' '"rate_5xx"' \
   '"hit_rate"' '"epoch_advances"' '"engine_queries"' '"throughput_rps"' \
-  '"seed"' '"pass"' '"classes"'; do
+  '"seed"' '"pass"' '"classes"' '"metrics_delta"' '"engine_stage_seconds"'; do
   grep -q "$field" "$OUT" || fail "BENCH JSON missing $field"
 done
 

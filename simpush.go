@@ -78,6 +78,15 @@ type Result = core.Result
 // AttentionInfo describes one attention node of a query.
 type AttentionInfo = core.AttentionInfo
 
+// StageDurations breaks a query into the four timed engine stages
+// (walk sampling, source-push, γ, reverse-push).
+type StageDurations = core.StageDurations
+
+// Clock supplies the stage timestamps behind Result.Durations; set
+// Options.Clock to inject one (nil reads the process clock). It is an
+// interface, not a func type, so Options stays comparable.
+type Clock = core.Clock
+
 // Method is the uniform interface over SimPush and the six baselines:
 // Build (preprocessing, if any) then Query. Use NewMethod to construct
 // baselines for comparison studies.
