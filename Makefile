@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt check bench bench-json serve smoke cluster-smoke cluster-bench workload-smoke obs-smoke
+.PHONY: all build test race vet lint fmt check bench bench-json serve smoke cluster-smoke cluster-bench workload-smoke obs-smoke cache-delta-bench
 
 all: check
 
@@ -69,3 +69,10 @@ workload-smoke:
 # tracing-disabled SLO run → BENCH_PR9.json (see docs/observability.md).
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Epoch-delta cache carry-forward benchmark: carry-on vs abandon-on-epoch
+# hit rate under a community-clustered mutation mix → BENCH_PR10.json.
+# Fails unless carry's hit rate is >= 3x the baseline's with entries
+# actually carried (see docs/cache.md).
+cache-delta-bench:
+	./scripts/cache_delta_bench.sh

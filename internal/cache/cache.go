@@ -54,7 +54,13 @@ func (k Key) hash() uint64 {
 			x >>= 8
 		}
 	}
-	mix(k.Epoch)
+	// Epoch is deliberately NOT mixed in: CarryForward re-keys entries
+	// from epoch e to e+1 in place, and leaving the epoch out of the hash
+	// pins a key to one shard across epochs, so re-keying never has to
+	// move an entry between shards (each shard carries forward
+	// independently under its own lock). Epoch remains part of the map
+	// key, so correctness — a result is only returned to a request that
+	// pinned its epoch — is untouched; only shard placement ignores it.
 	mix(uint64(uint32(k.Node)))
 	mix(uint64(k.Aux))
 	for i := 0; i < len(k.Kind); i++ {
@@ -99,10 +105,12 @@ type Cache struct {
 	mask   uint64
 	cap    int // max entries per shard; 0 disables storage (coalescing only)
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	coalesced atomic.Uint64
-	evictions atomic.Uint64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	coalesced    atomic.Uint64
+	evictions    atomic.Uint64
+	carried      atomic.Uint64
+	carryDropped atomic.Uint64
 }
 
 type shard struct {
@@ -297,6 +305,65 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func(context.Context) (an
 	}
 }
 
+// Delta is the cache-facing view of one committed epoch advance: entries
+// keyed at FromEpoch are candidates to survive as ToEpoch entries. The
+// cache knows nothing about graphs or affected sets — the caller encodes
+// that judgment in the keep callback passed to CarryForward.
+type Delta struct {
+	FromEpoch uint64
+	ToEpoch   uint64
+}
+
+// CarryForward re-keys every entry from d.FromEpoch to d.ToEpoch for
+// which keep returns true, and drops the rest of the FromEpoch entries.
+// Entries at other epochs are untouched (a later Sweep reclaims them).
+// It returns the number of entries carried.
+//
+// keep is called with the entry's key and stored value while the shard
+// lock is held: it must be fast, must not call back into the cache, and
+// must return true only if the value is guaranteed bit-identical to a
+// fresh computation at d.ToEpoch (the caller's affected-set judgment).
+// A nil keep carries nothing (every FromEpoch entry is dropped).
+//
+// The work is O(stored entries) per call and allocation-free on the
+// payloads: re-keying rewrites the entry's key in place and moves the
+// map pointer — the cached result itself is never copied. If a fresh
+// ToEpoch entry already exists under the target key (a query raced ahead
+// and computed at the new epoch), the fresh entry wins and the stale
+// candidate is dropped.
+func (c *Cache) CarryForward(d Delta, keep func(Key, any) bool) int {
+	carried := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; {
+			next := el.Next()
+			e := el.Value.(*entry)
+			if e.key.Epoch == d.FromEpoch {
+				nk := e.key
+				nk.Epoch = d.ToEpoch
+				_, taken := s.entries[nk]
+				if !taken && keep != nil && keep(e.key, e.val) {
+					delete(s.entries, e.key)
+					e.key = nk // same hash (epoch is not mixed in): stays in this shard
+					s.entries[nk] = el
+					carried++
+				} else {
+					s.lru.Remove(el)
+					delete(s.entries, e.key)
+					c.carryDropped.Add(1)
+				}
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	if carried > 0 {
+		c.carried.Add(uint64(carried))
+	}
+	return carried
+}
+
 // Sweep drops every stored entry whose epoch differs from current and
 // returns how many were removed. Entries from superseded epochs are
 // already unreachable (the epoch is in the key), so Sweep is purely a
@@ -331,16 +398,23 @@ type Stats struct {
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced"`
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
+	// Carried counts entries re-keyed to a new epoch by CarryForward;
+	// CarryDropped counts the candidates it refused (affected by the
+	// mutation, raced by a fresh entry, or a Total-fallback delta).
+	Carried      uint64 `json:"carried"`
+	CarryDropped uint64 `json:"carry_dropped"`
+	Entries      int    `json:"entries"`
 }
 
 // Stats returns current counters and the live entry count.
 func (c *Cache) Stats() Stats {
 	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Coalesced:    c.coalesced.Load(),
+		Evictions:    c.evictions.Load(),
+		Carried:      c.carried.Load(),
+		CarryDropped: c.carryDropped.Load(),
 	}
 	for i := range c.shards {
 		s := &c.shards[i]

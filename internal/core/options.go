@@ -114,6 +114,16 @@ func (o Options) validate() error {
 	return nil
 }
 
+// MaxLevelBound returns the walk-depth truncation bound
+// L* = ⌊log_{1/√c}(1/ε_h)⌋ (Lemma 2) implied by the options, with
+// defaults applied to zero fields. Every adjacency list, reciprocal
+// in-degree and walk transition a query reads lies within L* hops of the
+// nodes its pushes and walks visit, so L* is the BFS depth at which an
+// affected-node over-approximation for cache carry-forward is sound.
+func (o Options) MaxLevelBound() int {
+	return deriveParams(o.withDefaults()).lStar
+}
+
 // QueryOpts carries per-query overrides of the engine Options. The zero
 // value inherits every engine setting; a set field replaces the engine
 // value for one query only, with the derived quantities (ε_h, L*, walk

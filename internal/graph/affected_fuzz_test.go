@@ -1,0 +1,103 @@
+package graph_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/simrank/simpush/internal/exact"
+	"github.com/simrank/simpush/internal/graph"
+)
+
+// FuzzAffectedOverApproximation checks the carry-forward soundness
+// invariant on small random graphs: after one committed mutation batch,
+// every node whose exact SimRank row (power method, K iterations)
+// changes must be contained in the EpochDelta's affected set, provided
+// the affected-set BFS ran at depth ≥ K. A violation means the delta
+// would let the serving cache carry (and keep serving) a result the
+// mutation actually changed — the one failure mode carry-forward must
+// never have.
+//
+// The K-iteration oracle matches the engine's situation exactly: SimPush
+// truncates all walks and pushes at L*, and the hook runs the BFS at
+// that same depth, so "score change within K iterations ⇒ affected at
+// depth K" is the precise containment the production path relies on.
+func FuzzAffectedOverApproximation(f *testing.F) {
+	for s := uint64(1); s <= 24; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := int32(4 + rng.Intn(9))
+		m := 3 + rng.Intn(3*int(n))
+		d := graph.NewDynamic(n, m)
+		for i := 0; i < m; i++ {
+			if err := d.AddEdge(rng.Int31n(n), rng.Int31n(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		oldG, _, err := d.SnapshotEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// K = the power method's iteration count at this tolerance; the
+		// BFS must run at least that deep for containment to be promised.
+		const c, tol = 0.6, 0.05
+		iters := int(math.Ceil(math.Log(tol*(1-c)) / math.Log(c)))
+		var delta *graph.EpochDelta
+		d.SetCommitHook(func(ed graph.EpochDelta) { cp := ed; delta = &cp }, iters, 0)
+
+		// One batch: 1-3 mutations, mixing inserts (within the existing
+		// node range, so the delta is not a trivial Total) and removals of
+		// edges that exist (each picked at most once so the batch commits).
+		var edges [][2]int32
+		oldG.Edges(func(from, to int32) { edges = append(edges, [2]int32{from, to}) })
+		var adds, removes [][2]int32
+		for i, nMut := 0, 1+rng.Intn(3); i < nMut; i++ {
+			if len(edges) > 0 && rng.Intn(2) == 0 {
+				j := rng.Intn(len(edges))
+				removes = append(removes, edges[j])
+				edges[j] = edges[len(edges)-1]
+				edges = edges[:len(edges)-1]
+			} else {
+				adds = append(adds, [2]int32{rng.Int31n(n), rng.Int31n(n)})
+			}
+		}
+		newG, _, err := d.ApplyEdges(adds, removes)
+		if err != nil {
+			t.Fatalf("ApplyEdges(%v, %v): %v", adds, removes, err)
+		}
+		if delta == nil {
+			t.Fatal("commit hook did not fire")
+		}
+		if delta.Total {
+			return // every node treated as affected: trivially sound
+		}
+		aff := make(map[int32]struct{}, len(delta.Affected))
+		for _, v := range delta.Affected {
+			aff[v] = struct{}{}
+		}
+
+		eo, err := exact.AllPairs(oldG, exact.Options{C: c, Tolerance: tol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		en, err := exact.AllPairs(newG, exact.Options{C: c, Tolerance: tol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := int32(0); u < n; u++ {
+			ro, rn := eo.Row(u), en.Row(u)
+			for i := range ro {
+				if ro[i] != rn[i] {
+					if _, ok := aff[u]; !ok {
+						t.Fatalf("node %d: exact score s(%d,%d) changed %v -> %v but %d is not in Affected %v (adds=%v removes=%v)",
+							u, u, i, ro[i], rn[i], u, delta.Affected, adds, removes)
+					}
+					break
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package graph
+
+import "sort"
+
+// EpochDelta describes one committed epoch advance of a Dynamic graph:
+// which epoch was superseded, which epoch the mutations committed at, and
+// a conservative over-approximation of the nodes whose single-source
+// SimRank results can differ between the two states.
+//
+// The affected set is what lets a serving cache survive mutations: a
+// cached single-source result whose source node is outside Affected is
+// bit-identical to a fresh computation at ToEpoch (for the same seed and
+// options), because SimPush never reads a mutated adjacency list,
+// reciprocal in-degree, or walk transition while answering it — so the
+// entry can be re-keyed to the new epoch instead of abandoned.
+type EpochDelta struct {
+	// FromEpoch is the superseded epoch (0 when nothing was ever
+	// committed before this batch).
+	FromEpoch uint64
+	// ToEpoch is the epoch the batch committed at.
+	ToEpoch uint64
+	// Affected lists the affected nodes, sorted ascending, deduplicated.
+	// Only meaningful when Total is false.
+	Affected []int32
+	// Total is the explicit fallback: every node must be treated as
+	// affected. Raised when the affected frontier exceeded the size
+	// budget, when the node count changed (cached dense rows have the
+	// wrong length), or when there is no previous snapshot to diff
+	// against.
+	Total bool
+}
+
+// AffectedNodes over-approximates the set of source nodes whose SimPush
+// single-source results can change when the listed edge endpoints are
+// mutated between oldG and newG.
+//
+// The shape follows the algorithm's own read set. A query from u reads
+// (a) the in-adjacency of nodes its √c-walks and Source-Push visit —
+// nodes a with a path a→…→u of length ≤ depth — and (b) the
+// out-adjacency and in-degrees of nodes its Reverse-Push sweeps from
+// attention nodes reach. Both reads factor through a common ancestor a
+// with d_out(a, u) ≤ depth and d_out(a, endpoint) ≤ depth, so the
+// affected sources are covered by a reverse BFS of depth `depth` from
+// the endpoints (over in-edges, collecting candidate ancestors) composed
+// with a forward BFS of depth `depth` from those ancestors (over
+// out-edges). depth is the engine's walk-depth truncation bound L*;
+// anything the engine reads is within it.
+//
+// The composition is computed on the old and the new graph separately
+// and unioned, because a carried entry was computed on the old graph
+// while its fresh counterpart runs on the new one. Endpoints outside a
+// graph's node range (edges that add new nodes) are skipped on that
+// graph.
+//
+// ok reports success; ok == false means the affected set exceeded budget
+// nodes and the caller must fall back to EpochDelta.Total. budget <= 0
+// means unbounded.
+func AffectedNodes(oldG, newG *Graph, endpoints []int32, depth, budget int) (affected []int32, ok bool) {
+	if depth < 1 {
+		depth = 1
+	}
+	set := make(map[int32]struct{}, len(endpoints)*2)
+	for _, g := range [2]*Graph{oldG, newG} {
+		if g == nil {
+			continue
+		}
+		if !affectedOn(g, endpoints, depth, budget, set) {
+			return nil, false
+		}
+	}
+	affected = make([]int32, 0, len(set))
+	for v := range set {
+		affected = append(affected, v)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	return affected, true
+}
+
+// affectedOn accumulates out_depth(in_depth(endpoints)) on one graph into
+// set, returning false as soon as the union would exceed budget. The two
+// BFS phases use graph-local visited maps — dedup against the shared set
+// would truncate this graph's expansion at nodes the other graph already
+// reached, even though their adjacency differs between the two.
+func affectedOn(g *Graph, endpoints []int32, depth, budget int, set map[int32]struct{}) bool {
+	// Phase 1: reverse closure — every candidate common ancestor a with
+	// d_out(a, endpoint) ≤ depth, discovered by walking in-edges.
+	ancestors := make(map[int32]struct{}, len(endpoints))
+	frontier := make([]int32, 0, len(endpoints))
+	for _, v := range endpoints {
+		if !g.HasNode(v) {
+			continue
+		}
+		if _, seen := ancestors[v]; !seen {
+			ancestors[v] = struct{}{}
+			frontier = append(frontier, v)
+		}
+	}
+	var next []int32
+	for hop := 0; hop < depth && len(frontier) > 0; hop++ {
+		next = next[:0]
+		for _, v := range frontier {
+			for _, w := range g.In(v) {
+				if _, seen := ancestors[w]; !seen {
+					ancestors[w] = struct{}{}
+					next = append(next, w)
+				}
+			}
+		}
+		frontier, next = next, frontier
+		if budget > 0 && len(ancestors) > budget {
+			return false // ancestors ⊆ affected, so the budget is already blown
+		}
+	}
+
+	// Phase 2: forward closure from every ancestor over out-edges. The
+	// ancestors themselves are affected (d_out(a, a) = 0).
+	reached := ancestors // ancestors ⊆ affected; reuse the map as visited
+	frontier = frontier[:0]
+	for a := range reached {
+		frontier = append(frontier, a)
+	}
+	for hop := 0; hop < depth && len(frontier) > 0; hop++ {
+		next = next[:0]
+		for _, v := range frontier {
+			for _, w := range g.Out(v) {
+				if _, seen := reached[w]; !seen {
+					reached[w] = struct{}{}
+					next = append(next, w)
+				}
+			}
+		}
+		frontier, next = next, frontier
+		if budget > 0 && len(reached) > budget {
+			return false
+		}
+	}
+	for v := range reached {
+		set[v] = struct{}{}
+	}
+	if budget > 0 && len(set) > budget {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// chainDyn builds 0→1→2→3→4 as a committed dynamic graph.
+func chainDyn(t *testing.T) *Dynamic {
+	t.Helper()
+	d := NewDynamic(5, 4)
+	for i := int32(0); i < 4; i++ {
+		if err := d.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAffectedNodesChain(t *testing.T) {
+	g, err := chainDyn(t).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating edge (2,3) at depth 1: ancestors within one hop of the
+	// endpoints over in-edges are {1,2,3}; one forward hop from them
+	// reaches {1,2,3,4}. Node 0 is out of range of any depth-1 read.
+	aff, ok := AffectedNodes(g, g, []int32{2, 3}, 1, 0)
+	if !ok {
+		t.Fatal("unexpected budget fallback")
+	}
+	if want := []int32{1, 2, 3, 4}; !reflect.DeepEqual(aff, want) {
+		t.Fatalf("affected = %v, want %v", aff, want)
+	}
+	// Deep enough, the whole chain is affected.
+	aff, ok = AffectedNodes(g, g, []int32{2, 3}, 4, 0)
+	if !ok || len(aff) != 5 {
+		t.Fatalf("depth-4 affected = %v ok=%v, want all 5 nodes", aff, ok)
+	}
+}
+
+func TestAffectedNodesBudget(t *testing.T) {
+	g, err := chainDyn(t).Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := AffectedNodes(g, g, []int32{2, 3}, 4, 3); ok {
+		t.Fatal("budget 3 must fail: the affected set has 5 nodes")
+	}
+	if aff, ok := AffectedNodes(g, g, []int32{2, 3}, 4, 5); !ok || len(aff) != 5 {
+		t.Fatalf("budget 5 should fit exactly: aff=%v ok=%v", aff, ok)
+	}
+	// Endpoints outside the node range (edge adding new nodes) are
+	// skipped, not crashed on.
+	if aff, ok := AffectedNodes(g, g, []int32{99}, 2, 0); !ok || len(aff) != 0 {
+		t.Fatalf("out-of-range endpoints: aff=%v ok=%v, want empty", aff, ok)
+	}
+}
+
+// TestAffectedNodesPerGraphVisited is the regression test for the shared
+// visited-set bug: the old and new graphs must each run their BFS to full
+// depth even through nodes the other graph already reached, because their
+// adjacency differs.
+func TestAffectedNodesPerGraphVisited(t *testing.T) {
+	// Old graph: 0→1 only. New graph: 0→1 plus 1→2 — so on the new graph
+	// the forward closure from ancestor 0 must pass through 1 (already
+	// reached on the old graph) and continue to 2.
+	mk := func(withTail bool) *Graph {
+		d := NewDynamic(3, 2)
+		if err := d.AddEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if withTail {
+			if err := d.AddEdge(1, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g, err := d.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	oldG, newG := mk(false), mk(true)
+	aff, ok := AffectedNodes(oldG, newG, []int32{0, 1}, 2, 0)
+	if !ok {
+		t.Fatal("unexpected budget fallback")
+	}
+	if want := []int32{0, 1, 2}; !reflect.DeepEqual(aff, want) {
+		t.Fatalf("affected = %v, want %v (node 2 reachable only on the new graph)", aff, want)
+	}
+}
+
+func TestCommitHookDeltas(t *testing.T) {
+	d := NewDynamic(5, 8)
+	for i := int32(0); i < 4; i++ {
+		if err := d.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []EpochDelta
+	d.SetCommitHook(func(ed EpochDelta) { got = append(got, ed) }, 2, 0)
+
+	// First commit: no previous snapshot, must be a Total delta 0→1.
+	if _, epoch, err := d.SnapshotEpoch(); err != nil || epoch != 1 {
+		t.Fatalf("first snapshot: epoch=%d err=%v", epoch, err)
+	}
+	if len(got) != 1 || !got[0].Total || got[0].FromEpoch != 0 || got[0].ToEpoch != 1 {
+		t.Fatalf("first delta = %+v, want Total 0→1", got)
+	}
+
+	// Legacy AddEdge path between existing nodes: real affected set.
+	if err := d.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.SnapshotEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(got))
+	}
+	d2 := got[1]
+	if d2.Total || d2.FromEpoch != 1 || d2.ToEpoch != 2 {
+		t.Fatalf("second delta = %+v, want non-Total 1→2", d2)
+	}
+	for _, want := range []int32{0, 2} {
+		if !containsNode(d2.Affected, want) {
+			t.Fatalf("affected %v misses mutated endpoint %d", d2.Affected, want)
+		}
+	}
+
+	// Cached snapshot: no new commit, no new delta.
+	if _, _, err := d.SnapshotEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("cached snapshot fired the hook: %d deltas", len(got))
+	}
+
+	// ApplyEdges path, with a removal: endpoints of removed edges seed
+	// the BFS too.
+	if _, _, err := d.ApplyEdges(nil, [][2]int32{{0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	d3 := got[len(got)-1]
+	if d3.Total || d3.FromEpoch != 2 || d3.ToEpoch != 3 {
+		t.Fatalf("removal delta = %+v, want non-Total 2→3", d3)
+	}
+	if !containsNode(d3.Affected, 0) || !containsNode(d3.Affected, 2) {
+		t.Fatalf("removal affected %v misses endpoints", d3.Affected)
+	}
+
+	// Growing the node range voids dense-row compatibility: Total.
+	if err := d.AddEdge(4, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.SnapshotEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if d4 := got[len(got)-1]; !d4.Total {
+		t.Fatalf("node-count change delta = %+v, want Total", d4)
+	}
+}
+
+func TestCommitHookBudgetFallsBackToTotal(t *testing.T) {
+	d := chainDyn(t)
+	var got []EpochDelta
+	d.SetCommitHook(func(ed EpochDelta) { got = append(got, ed) }, 4, 2)
+	if err := d.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.SnapshotEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Total {
+		t.Fatalf("delta = %+v, want Total (budget 2 < 5 affected)", got)
+	}
+}
+
+func TestDiscardedDeletionsCount(t *testing.T) {
+	d := chainDyn(t)
+	if n := d.DiscardedDeletions(); n != 0 {
+		t.Fatalf("fresh graph discarded = %d", n)
+	}
+	d.RemoveEdge(3, 0) // never existed
+	if _, err := d.Snapshot(); err == nil {
+		t.Fatal("snapshot after bad removal must fail once")
+	}
+	if n := d.DiscardedDeletions(); n != 1 {
+		t.Fatalf("discarded = %d, want 1", n)
+	}
+	// Recovered: the next snapshot succeeds and the count is stable.
+	if _, err := d.Snapshot(); err != nil {
+		t.Fatalf("recovery snapshot: %v", err)
+	}
+	if n := d.DiscardedDeletions(); n != 1 {
+		t.Fatalf("discarded after recovery = %d, want 1", n)
+	}
+	// Double removal of an edge that exists once: one excess discarded.
+	d.RemoveEdge(0, 1)
+	d.RemoveEdge(0, 1)
+	if _, err := d.Snapshot(); err == nil {
+		t.Fatal("excess removal must fail once")
+	}
+	if n := d.DiscardedDeletions(); n != 2 {
+		t.Fatalf("discarded = %d, want 2", n)
+	}
+}
+
+func containsNode(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

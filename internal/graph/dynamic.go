@@ -25,6 +25,21 @@ type Dynamic struct {
 	deleted map[[2]int32]int // pending deletion counts per edge
 	snap    *Graph           // cached snapshot; nil when dirty
 	epoch   uint64           // epoch of the cached snapshot; bumped per rebuild
+
+	// prev is the most recently materialized snapshot regardless of
+	// dirtiness — the "old" side of the next epoch delta.
+	prev *Graph
+	// pendEndpoints collects the endpoints of every edge mutated since
+	// the last committed snapshot; they seed the affected-set BFS.
+	pendEndpoints []int32
+	// discardedDeletions counts RemoveEdge calls for never-existing edges
+	// that a rebuild discarded after reporting the error once — silent
+	// no-ops from the caller's perspective, surfaced via /statsz.
+	discardedDeletions uint64
+
+	hook       func(EpochDelta) // commit hook; see SetCommitHook
+	hookDepth  int
+	hookBudget int
 }
 
 // NewDynamic returns an empty dynamic graph. nHint reserves node ids
@@ -71,6 +86,7 @@ func (d *Dynamic) AddEdge(from, to int32) error {
 	if to >= d.n {
 		d.n = to + 1
 	}
+	d.pendEndpoints = append(d.pendEndpoints, from, to)
 	d.snap = nil
 	return nil
 }
@@ -85,6 +101,7 @@ func (d *Dynamic) RemoveEdge(from, to int32) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.deleted[[2]int32{from, to}]++
+	d.pendEndpoints = append(d.pendEndpoints, from, to)
 	d.snap = nil
 }
 
@@ -164,6 +181,7 @@ func (d *Dynamic) rebuildLocked() (*Graph, uint64, error) {
 				if !bad {
 					badKey, bad = key, true
 				}
+				d.discardedDeletions += uint64(cnt - avail[key])
 				if avail[key] == 0 {
 					delete(d.deleted, key)
 				} else {
@@ -194,9 +212,69 @@ func (d *Dynamic) rebuildLocked() (*Graph, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	d.snap = g
+	old, oldEpoch := d.prev, d.epoch
+	endpoints := d.pendEndpoints
+	d.snap, d.prev = g, g
+	d.pendEndpoints = nil
 	d.epoch++
+	if d.hook != nil {
+		// The hook runs with d.mu held: no concurrent SnapshotEpoch can
+		// observe the new epoch until it returns, so a cache carry-forward
+		// inside the hook completes before any request can pin (and sweep
+		// at) the new epoch.
+		d.hook(d.buildDeltaLocked(old, g, oldEpoch, endpoints))
+	}
 	return g, d.epoch, nil
+}
+
+// buildDeltaLocked assembles the EpochDelta for one committed rebuild.
+// Total is raised when there is no previous snapshot to diff against,
+// when the node count changed (cached dense rows have the wrong length),
+// or when the affected frontier exceeds the configured budget.
+func (d *Dynamic) buildDeltaLocked(old, g *Graph, oldEpoch uint64, endpoints []int32) EpochDelta {
+	delta := EpochDelta{FromEpoch: oldEpoch, ToEpoch: d.epoch}
+	if old == nil || old.N() != g.N() {
+		delta.Total = true
+		return delta
+	}
+	affected, ok := AffectedNodes(old, g, endpoints, d.hookDepth, d.hookBudget)
+	if !ok {
+		delta.Total = true
+		return delta
+	}
+	delta.Affected = affected
+	return delta
+}
+
+// SetCommitHook registers fn to run on every committed epoch advance,
+// with the delta between the superseded and the new snapshot. depth is
+// the affected-set BFS depth (the engine's walk-depth truncation bound
+// L*); budget caps the affected set's size, beyond which the delta falls
+// back to Total (budget <= 0 = unbounded).
+//
+// The hook runs with the graph's mutex held, after the new snapshot is
+// materialized but before its epoch is observable through SnapshotEpoch —
+// the window in which a serving cache can re-key entries without racing
+// requests that pin the new epoch. The hook must be fast and must not
+// call back into the Dynamic. At most one hook is supported; nil
+// unregisters.
+func (d *Dynamic) SetCommitHook(fn func(EpochDelta), depth, budget int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hook = fn
+	d.hookDepth = depth
+	d.hookBudget = budget
+}
+
+// DiscardedDeletions returns how many RemoveEdge calls named an edge that
+// never existed and were discarded by a rebuild after failing exactly one
+// snapshot. The count surfaces silent no-ops to operators: the error is
+// reported once on the failing snapshot and the source then recovers, so
+// without this counter a steady trickle of bad removals is invisible.
+func (d *Dynamic) DiscardedDeletions() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.discardedDeletions
 }
 
 // ApplyEdges applies one batch of insertions and removals atomically and
@@ -256,9 +334,11 @@ func (d *Dynamic) ApplyEdges(adds, removes [][2]int32) (*Graph, uint64, error) {
 		if e[1] >= d.n {
 			d.n = e[1] + 1
 		}
+		d.pendEndpoints = append(d.pendEndpoints, e[0], e[1])
 	}
 	for _, e := range removes {
 		d.deleted[e]++
+		d.pendEndpoints = append(d.pendEndpoints, e[0], e[1])
 	}
 	d.snap = nil
 	return d.rebuildLocked()

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"regexp"
 )
 
@@ -12,14 +13,20 @@ import (
 // the first mutation — the exact failure mode the epoch-in-key design
 // exists to make unrepresentable.
 //
-// Two rules:
+// Three rules:
 //
 //  1. every internal/cache Put/Get/Do call site must build its key from
 //     an epoch-bearing value (an identifier, field, or call with "epoch"
 //     in its name, e.g. view.Epoch());
 //  2. no new score-shaped map caches outside internal/cache: a variable
 //     or field named like a cache (cache/memo) whose type is a map
-//     holding floats bypasses the epoch key entirely.
+//     holding floats bypasses the epoch key entirely;
+//  3. no assignment to the Epoch field of an existing cache.Key outside
+//     internal/cache: re-keying an entry to a different epoch re-labels
+//     a result as computed on a graph state it never saw. The one
+//     audited re-key path is Cache.CarryForward, which only re-keys
+//     entries its caller proved bit-identical across the epoch advance —
+//     everything else must build a fresh key and recompute.
 var EpochKey = &Analyzer{
 	Name: "epochkey",
 	Doc:  "cache keys must embed the graph epoch; score caches belong in internal/cache",
@@ -51,6 +58,7 @@ func runEpochKey(pass *Pass) {
 					if id, ok := lhs.(*ast.Ident); ok {
 						checkScoreMap(pass, id)
 					}
+					checkEpochRekey(pass, lhs)
 				}
 			case *ast.Field:
 				for _, id := range n.Names {
@@ -74,6 +82,27 @@ func checkScoreMap(pass *Pass, id *ast.Ident) {
 	}
 	pass.Reportf(id.Pos(),
 		"score map %q outside internal/cache: cached scores must live in the epoch-keyed serving cache (or carry a lint:allow with the epoch-safety argument)", id.Name)
+}
+
+// checkEpochRekey flags assignments to the Epoch field of a cache.Key
+// (rule 3): outside the audited CarryForward path, mutating a key's
+// epoch re-labels a cached result as belonging to a graph state it was
+// never computed on.
+func checkEpochRekey(pass *Pass, lhs ast.Expr) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Epoch" {
+		return
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !namedIs(named, "internal/cache", "Key") {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"re-keying a cache entry's epoch outside internal/cache: only the audited CarryForward path may move an entry between epochs (build a fresh key and recompute instead)")
 }
 
 // checkCacheCall flags cache.Cache Put/Get/Do calls whose key does not

@@ -71,3 +71,31 @@ func accumulate(n int) map[int32]float64 {
 
 // Correct negative: cache-named, but holds no scores.
 var statusCache = map[string]string{}
+
+// True positive: re-keying a stored key's epoch outside the audited
+// CarryForward path re-labels a result as computed on a graph state it
+// never saw.
+func rekeyEpoch(key *cache.Key, epoch uint64) {
+	key.Epoch = epoch // want "re-keying a cache entry's epoch outside internal/cache"
+}
+
+// True positive: value receivers are no safer — the copy is usually
+// stored right back under the new epoch.
+func rekeyEpochCopy(key cache.Key) cache.Key {
+	key.Epoch = key.Epoch + 1 // want "re-keying a cache entry's epoch outside internal/cache"
+	return key
+}
+
+// Correct negative: assigning any other key field is retargeting, not
+// epoch re-labeling.
+func retarget(key *cache.Key, u int32) {
+	key.Node = u
+}
+
+// Correct negative: setting Epoch on an unrelated type is not a cache
+// re-key.
+type notAKey struct{ Epoch uint64 }
+
+func bumpOther(k *notAKey) {
+	k.Epoch = 7
+}

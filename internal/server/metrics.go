@@ -47,6 +47,21 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	mw.Sample("simrankd_cache_evictions_total", nil, float64(st.Cache.Evictions))
 	mw.Gauge("simrankd_cache_entries", "Live result-cache entries.")
 	mw.Sample("simrankd_cache_entries", nil, float64(st.Cache.Entries))
+	mw.Counter("simrankd_cache_carried_total", "Cache entries re-keyed to a new epoch by carry-forward.")
+	mw.Sample("simrankd_cache_carried_total", nil, float64(st.Cache.Carried))
+	mw.Counter("simrankd_cache_carry_dropped_total", "Carry-forward candidates dropped (affected, raced, or Total fallback).")
+	mw.Sample("simrankd_cache_carry_dropped_total", nil, float64(st.Cache.CarryDropped))
+
+	if d := st.Delta; d != nil {
+		mw.Gauge("simrankd_delta_affected_nodes", "Affected-set size of the most recent epoch delta.")
+		mw.Sample("simrankd_delta_affected_nodes", nil, float64(d.LastAffectedNodes))
+		mw.Counter("simrankd_delta_commits_total", "Committed epoch advances seen by the carry-forward hook.")
+		mw.Sample("simrankd_delta_commits_total", nil, float64(d.Commits))
+		mw.Counter("simrankd_delta_total_fallbacks_total", "Epoch deltas that degraded to a whole-cache drop.")
+		mw.Sample("simrankd_delta_total_fallbacks_total", nil, float64(d.TotalFallbacks))
+	}
+	mw.Counter("simrankd_graph_discarded_deletions_total", "Removals of never-existing edges discarded by the dynamic source.")
+	mw.Sample("simrankd_graph_discarded_deletions_total", nil, float64(st.GraphDiscardedDeletions))
 
 	adm := st.Admission
 	mw.Gauge("simrankd_admission_in_flight", "Engine computations currently holding a slot.")

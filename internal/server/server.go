@@ -95,6 +95,26 @@ type Config struct {
 	// leader's base graph.
 	ReplicationLog int
 
+	// DisableCarryForward turns off epoch-delta cache carry-forward for
+	// dynamic sources: every epoch advance then abandons the whole cache
+	// again (the pre-carry behavior). Escape hatch for debugging; the
+	// default (carry enabled) is strictly better under mutation.
+	DisableCarryForward bool
+
+	// DeltaDepth overrides the affected-set BFS depth used to judge which
+	// cached results a mutation can have changed. 0 (the default) uses
+	// the engine's own walk-depth truncation bound L*, which covers
+	// everything a default-ε query reads; setting it lower trades carry
+	// coverage for cheaper deltas (entries needing deeper reads are
+	// dropped instead of carried).
+	DeltaDepth int
+
+	// DeltaBudget caps the affected-set size before a delta falls back
+	// to dropping the whole cache (EpochDelta.Total). 0 (the default)
+	// auto-sizes to half the graph's startup node count (min 1024);
+	// negative means unbounded.
+	DeltaBudget int
+
 	// TraceRing retains the last N completed query traces for GET
 	// /debug/queries. 0 (the default) keeps no ring. Tracing — span
 	// recording on the request path — is active when TraceRing or
@@ -196,6 +216,18 @@ type Server struct {
 	lat        [kindCount][pathCount]latencyHist
 	lastEpoch  atomic.Uint64             // highest epoch seen; drives opportunistic sweeps
 	stageNanos [stageCount]atomic.Uint64 // cumulative engine-stage wall time
+
+	// Epoch-delta carry-forward state (see delta.go). The resolved depth,
+	// budget and engine options are written once in New and read-only
+	// afterwards; the counters are updated by the commit hook.
+	engineOpts        simpush.Options
+	deltaDepth        int
+	deltaBudget       int
+	carryDefaultSafe  bool
+	deltas            atomic.Uint64
+	deltaTotals       atomic.Uint64
+	deltaAffectedLast atomic.Uint64
+	deltaAffectedSum  atomic.Uint64
 }
 
 // Engine stage indices for the cumulative stage-time counters surfaced
@@ -263,6 +295,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if dyn, ok := cfg.Client.Source().(*simpush.DynamicGraph); ok {
 		s.dyn = dyn
+		if !cfg.DisableCarryForward {
+			s.installCarryForward()
+		}
 	}
 	if err := validateRole(cfg.Role); err != nil {
 		return nil, err
@@ -429,6 +464,13 @@ type StatsSnapshot struct {
 	Admission     AdmissionStats    `json:"admission"`
 	Client        ClientStats       `json:"client"`
 	Replication   *ReplicationStats `json:"replication,omitempty"`
+	Delta         *DeltaCarryStats  `json:"delta,omitempty"`
+
+	// GraphDiscardedDeletions counts RemoveEdge calls naming a
+	// never-existing edge that the dynamic source discarded after failing
+	// exactly one snapshot — silent no-ops surfaced for operators. Always
+	// 0 for static sources.
+	GraphDiscardedDeletions uint64 `json:"graph_discarded_deletions"`
 
 	// EngineStageSeconds is the cumulative engine wall time by stage
 	// (walk, source_push, gamma, reverse_push) over every computed query.
@@ -491,6 +533,10 @@ func (s *Server) Stats() StatsSnapshot {
 		},
 		Client:      ClientStats{Queries: cs.Queries, Errors: cs.Errors, InFlight: cs.InFlight},
 		Replication: s.replicationStats(),
+		Delta:       s.deltaStats(),
+	}
+	if s.dyn != nil {
+		snap.GraphDiscardedDeletions = s.dyn.DiscardedDeletions()
 	}
 	if g != nil {
 		snap.GraphN = g.N()

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Epoch-delta cache carry-forward benchmark: a fraud-neighbors-style
+# mutation mix (point mutations interleaved with a recurring read working
+# set) over a clustered community graph, run twice — carry-forward on
+# (default) vs the abandon-on-epoch baseline (-cache-carry=false) — and
+# scored on cache hit rate. Emits BENCH_PR10.json and fails unless the
+# carry configuration's hit rate is >= 3x the baseline's with
+# cache_carried_total > 0. Used by CI (JSON uploaded as an artifact) and
+# runnable locally: make cache-delta-bench [OUT=BENCH_PR10.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_PR10.json}"
+CLUSTERS="${CLUSTERS:-60}"
+SIZE="${SIZE:-20}"
+ROUNDS="${ROUNDS:-10}"
+if [ "${1:-}" = "--short" ]; then CLUSTERS=24; ROUNDS=5; fi
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "cache delta bench: FAIL: $1"
+  echo "--- daemon log ---"; tail -20 "$tmp/log" 2>/dev/null || true
+  exit 1
+}
+
+# Fixture: CLUSTERS disconnected communities of SIZE nodes each (a ring
+# plus hub chords). Disconnection is the workload shape carry-forward
+# targets: a mutation's affected set stays inside one community, so every
+# other community's cached rows are provably unchanged.
+awk -v C="$CLUSTERS" -v S="$SIZE" 'BEGIN {
+  for (c = 0; c < C; c++) {
+    b = c * S
+    for (i = 0; i < S; i++) print b + i, b + (i + 1) % S
+    for (i = 2; i < S; i++) print b, b + i
+  }
+}' > "$tmp/g.txt"
+
+go build -o "$tmp/simrankd" ./cmd/simrankd
+
+start_daemon() { # $@: extra simrankd flags
+  : > "$tmp/log"
+  "$tmp/simrankd" -graph "$tmp/g.txt" -addr 127.0.0.1:0 -eps 0.1 "$@" 2> "$tmp/log" &
+  pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.* addr=\(127\.0\.0\.1:[0-9]*\).*/\1/p' "$tmp/log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || fail "daemon died at startup"
+    sleep 0.1
+  done
+  [ -n "$addr" ] || fail "daemon never reported its address"
+}
+
+stop_daemon() {
+  kill -TERM "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  pid=""
+}
+
+# One workload pass against the running daemon; responses collected in $1.
+# Seed phase: one single-source entry per community (all cold, uncounted).
+# Measured phase: each round mutates one community, then re-reads the full
+# working set — the epoch advances every round, so without carry-forward
+# every read recomputes.
+run_workload() {
+  : > "$1"
+  for ((c = 0; c < CLUSTERS; c++)); do
+    curl -s "http://$addr/v1/single-source?node=$((c * SIZE + 3))&seed=5" > /dev/null
+  done
+  for ((r = 1; r <= ROUNDS; r++)); do
+    mc=$(((r * 13) % CLUSTERS)); b=$((mc * SIZE))
+    curl -s -X POST "http://$addr/v1/edges" \
+      -d "{\"from\":$((b + 4)),\"to\":$((b + 9 + r % 5))}" > /dev/null
+    for ((c = 0; c < CLUSTERS; c++)); do
+      curl -s "http://$addr/v1/single-source?node=$((c * SIZE + 3))&seed=5" >> "$1"
+      echo >> "$1"
+    done
+  done
+}
+
+total=$((ROUNDS * CLUSTERS))
+
+start_daemon
+run_workload "$tmp/carry.out"
+curl -s "http://$addr/metricsz" > "$tmp/metrics.txt"
+stop_daemon
+carry_hits=$(grep -c '"cache":"hit"' "$tmp/carry.out" || true)
+carried=$(awk '$1 == "simrankd_cache_carried_total" {print $2}' "$tmp/metrics.txt")
+carry_dropped=$(awk '$1 == "simrankd_cache_carry_dropped_total" {print $2}' "$tmp/metrics.txt")
+commits=$(awk '$1 == "simrankd_delta_commits_total" {print $2}' "$tmp/metrics.txt")
+
+start_daemon -cache-carry=false
+run_workload "$tmp/base.out"
+stop_daemon
+base_hits=$(grep -c '"cache":"hit"' "$tmp/base.out" || true)
+
+[ -n "$carried" ] || fail "/metricsz missing simrankd_cache_carried_total"
+[ "$carried" -gt 0 ] || fail "cache_carried_total is 0: carry-forward never moved an entry"
+[ "$commits" -ge "$ROUNDS" ] || fail "delta commits $commits < $ROUNDS mutation rounds"
+
+# Hit-rate gate: carry must be >= 3x baseline. The baseline legitimately
+# lands at zero hits (every round strands the whole cache), so the ratio
+# is computed with a guard: zero baseline passes iff carry saw any hit.
+awk -v ch="$carry_hits" -v bh="$base_hits" -v t="$total" \
+    -v carried="$carried" -v dropped="$carry_dropped" -v commits="$commits" \
+    -v C="$CLUSTERS" -v S="$SIZE" -v R="$ROUNDS" -v out="$OUT" 'BEGIN {
+  cr = ch / t; br = bh / t
+  ratio = (bh > 0) ? cr / br : (ch > 0 ? "null" : 0)
+  pass = (bh > 0) ? (cr >= 3 * br) : (ch > 0)
+  printf "{\n" > out
+  printf "  \"bench\": \"cache_delta_carry\",\n" > out
+  printf "  \"graph\": {\"clusters\": %d, \"cluster_size\": %d, \"nodes\": %d},\n", C, S, C * S > out
+  printf "  \"rounds\": %d, \"queries_per_config\": %d,\n", R, t > out
+  printf "  \"carry\": {\"hits\": %d, \"hit_rate\": %.4f, \"cache_carried_total\": %d, \"cache_carry_dropped_total\": %d, \"delta_commits_total\": %d},\n", ch, cr, carried, dropped, commits > out
+  printf "  \"baseline\": {\"hits\": %d, \"hit_rate\": %.4f},\n", bh, br > out
+  printf "  \"hit_rate_ratio\": %s,\n", ratio > out
+  printf "  \"pass\": %s\n}\n", pass ? "true" : "false" > out
+  exit pass ? 0 : 1
+}' || fail "carry hit rate $carry_hits/$total not >= 3x baseline $base_hits/$total"
+
+echo "cache delta bench: OK ($OUT: carry $carry_hits/$total hits vs baseline $base_hits/$total, carried=$carried)"

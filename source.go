@@ -45,6 +45,15 @@ var (
 // concurrent use.
 type DynamicGraph = graph.Dynamic
 
+// EpochDelta describes one committed epoch advance of a DynamicGraph:
+// the superseded and new epochs plus a conservative over-approximation
+// of the nodes whose single-source results can differ between the two
+// states (or Total when no usable approximation exists). Deltas are
+// delivered to the commit hook registered with
+// DynamicGraph.SetCommitHook; serving layers use them to carry cached
+// results across epochs instead of abandoning them.
+type EpochDelta = graph.EpochDelta
+
 // NewDynamicGraph returns an empty dynamic graph. nHint reserves node ids
 // [0, nHint) up front and mHint presizes the edge buffer.
 func NewDynamicGraph(nHint int32, mHint int) *DynamicGraph {
